@@ -1,0 +1,297 @@
+package heterog
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§6) plus the appendix. Each benchmark regenerates its
+// exhibit through internal/experiments and reports the headline quantity as
+// a custom metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation. Absolute numbers come from the bundled simulator (see
+// DESIGN.md); EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"heterog/internal/experiments"
+	"heterog/internal/strategy"
+)
+
+// benchLab is shared across benchmarks so that strategies planned for one
+// table are reused by the others, exactly as the experiment harness does.
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() {
+		benchLab = experiments.NewLab(experiments.Config{Episodes: 2, Seed: 1})
+	})
+	return benchLab
+}
+
+func BenchmarkTable1PerIteration8GPUs(b *testing.B) {
+	var rows []experiments.PerIterRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Headline: geometric-mean speedup of HeteroG over the best DP baseline
+	// across feasible standard workloads.
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		best := math.Inf(1)
+		for _, t := range r.Baseline {
+			best = math.Min(best, t)
+		}
+		if math.IsInf(best, 1) || math.IsInf(r.HeteroG, 1) {
+			continue
+		}
+		logSum += math.Log(best / r.HeteroG)
+		n++
+	}
+	b.ReportMetric(math.Exp(logSum/float64(n)), "geomean-speedup-vs-bestDP")
+}
+
+func BenchmarkTable2StrategyShares(b *testing.B) {
+	var rows []experiments.StatsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mp float64
+	for _, r := range rows {
+		for _, v := range r.Stats.MPShare {
+			mp += v
+		}
+	}
+	b.ReportMetric(100*mp/float64(len(rows)), "avg-MP-share-%")
+}
+
+func BenchmarkTable3LargeModelShares(b *testing.B) {
+	var rows []experiments.StatsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mp float64
+	for _, r := range rows {
+		for _, v := range r.Stats.MPShare {
+			mp += v
+		}
+	}
+	b.ReportMetric(100*mp/float64(len(rows)), "avg-MP-share-%")
+}
+
+func BenchmarkTable4PerIteration12GPUs(b *testing.B) {
+	var rows []experiments.PerIterRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		best := math.Inf(1)
+		for _, t := range r.Baseline {
+			best = math.Min(best, t)
+		}
+		if math.IsInf(best, 1) || math.IsInf(r.HeteroG, 1) {
+			continue
+		}
+		logSum += math.Log(best / r.HeteroG)
+		n++
+	}
+	b.ReportMetric(math.Exp(logSum/float64(n)), "geomean-speedup-vs-bestDP")
+}
+
+func BenchmarkTable5EndToEnd(b *testing.B) {
+	var rows []experiments.EndToEndRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var speedup float64
+	for _, r := range rows {
+		speedup += (r.CPARMin - r.HeteroGMin) / r.HeteroGMin
+	}
+	b.ReportMetric(100*speedup/float64(len(rows)), "avg-speedup-vs-CPAR-%")
+}
+
+func BenchmarkTable6Generalization(b *testing.B) {
+	// The full leave-one-out protocol trains GNNs; one representative
+	// held-out model keeps the benchmark affordable. Use
+	// `heterog-bench -exp table6 -unseen ...` for the full sweep.
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table6([]string{"mobilenet_v2"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].RatioPercent, "finetune/scratch-%")
+}
+
+func BenchmarkTable7OrderScheduling(b *testing.B) {
+	var rows []experiments.OrderRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sp float64
+	for _, r := range rows {
+		sp += r.SpeedupPercent
+	}
+	b.ReportMetric(sp/float64(len(rows)), "avg-order-speedup-%")
+}
+
+func BenchmarkFig3aProportionalReplicas(b *testing.B) {
+	var rows []experiments.Fig3aRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Fig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sp float64
+	for _, r := range rows {
+		sp += r.SpeedupPercent
+	}
+	b.ReportMetric(sp/float64(len(rows)), "avg-prop-speedup-%")
+}
+
+func BenchmarkFig3bOpTimeSpread(b *testing.B) {
+	var rows []experiments.Fig3bRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		lo = math.Min(lo, r.GTX1080Ti)
+		hi = math.Max(hi, r.GTX1080Ti)
+	}
+	b.ReportMetric(hi/lo, "speedup-spread")
+}
+
+func BenchmarkFig8TimeBreakdown(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// HeteroG's overlap ratio on VGG (row 1) vs the CP baseline (row 0).
+	b.ReportMetric(rows[1].OverlapRatio, "heterog-overlap-ratio")
+	b.ReportMetric(rows[0].OverlapRatio, "baseline-overlap-ratio")
+}
+
+func BenchmarkFig9ExistingSchemes(b *testing.B) {
+	var rows []experiments.Fig9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var hg float64
+	for _, r := range rows {
+		hg += r.Speeds["HeteroG"]
+	}
+	b.ReportMetric(hg/float64(len(rows)), "avg-speed-vs-horovod")
+}
+
+func BenchmarkFig12Motivation(b *testing.B) {
+	var rows []experiments.MotivationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.Motivation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Hetero/rows[0].Homog, "allreduce-hetero-slowdown")
+}
+
+func BenchmarkAppendixSchedulerBound(b *testing.B) {
+	var rows []experiments.AppendixResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = experiments.Appendix()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].RatioLS, "worstcase-LS-ratio")
+}
+
+func BenchmarkAblationMechanisms(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rows, err = lab().Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Mechanism == "Sparse embedding PS" {
+			b.ReportMetric(r.DeltaPct, "densePS-slowdown-%")
+		}
+	}
+}
+
+// BenchmarkPlannerVGG19 measures the end-to-end planning cost (profile +
+// candidates + strategy search) for one workload — the "time to produce a
+// deployment" a user of GetRunner experiences.
+func BenchmarkPlannerVGG19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := lab().HeteroG("vgg19", 192, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorBert measures the simulator's throughput on the largest
+// standard workload (~10k dist-ops across 3 chained iterations).
+func BenchmarkSimulatorBert(b *testing.B) {
+	ev, err := lab().Evaluator("bert24", 48, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	be, err := lab().Baseline("bert24", 48, 8, strategy.DPEvenPS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(be.Strategy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command heterog-bench regenerates the paper's tables and figures.
+//
+//	heterog-bench -exp table1          # one exhibit
+//	heterog-bench -exp all             # everything (slow)
+//	heterog-bench -exp table6 -unseen vgg19,nasnet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"heterog/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "table1", "exhibit: table1,table2,table3,table4,table5,table6,table7,fig3a,fig3b,fig8,fig9,fig12,ablation,appendix,all")
+	episodes := flag.Int("episodes", 6, "RL episodes per model when planning HeteroG strategies")
+	seed := flag.Int64("seed", 1, "random seed")
+	unseen := flag.String("unseen", "", "comma-separated held-out models for table6")
+	flag.Parse()
+
+	lab := experiments.NewLab(experiments.Config{Episodes: *episodes, Seed: *seed})
+	run := func(name string) error {
+		t0 := time.Now()
+		var rep *experiments.Report
+		var err error
+		switch name {
+		case "table1":
+			rep, _, err = lab.Table1()
+		case "table2":
+			rep, _, err = lab.Table2()
+		case "table3":
+			rep, _, err = lab.Table3()
+		case "table4":
+			rep, _, err = lab.Table4()
+		case "table5":
+			rep, _, err = lab.Table5()
+		case "table6":
+			var held []string
+			if *unseen != "" {
+				held = strings.Split(*unseen, ",")
+			}
+			rep, _, err = lab.Table6(held)
+		case "table7":
+			rep, _, err = lab.Table7()
+		case "fig3a":
+			rep, _, err = lab.Fig3a()
+		case "fig3b":
+			rep, _, err = lab.Fig3b()
+		case "fig8":
+			rep, _, err = lab.Fig8()
+		case "fig9":
+			rep, _, err = lab.Fig9()
+		case "fig12":
+			rep, _, err = experiments.Motivation()
+		case "ablation":
+			rep, _, err = lab.Ablation()
+		case "appendix":
+			rep, _, err = experiments.Appendix()
+		default:
+			return fmt.Errorf("unknown exhibit %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s regenerated in %s)\n\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig12", "fig3a", "fig3b", "table1", "table2", "table3", "table4", "table5", "table7", "fig8", "fig9", "ablation", "appendix", "table6"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

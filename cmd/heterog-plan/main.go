@@ -1,0 +1,121 @@
+// Command heterog-plan plans a single model on a canned topology: it runs
+// HeteroG's strategy search, prints the per-iteration comparison against the
+// four DP baselines, and can save the chosen strategy as JSON and the
+// simulated schedule as a Chrome trace (chrome://tracing / Perfetto).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"heterog/internal/agent"
+	"heterog/internal/baselines"
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/models"
+	"heterog/internal/sim"
+	"heterog/internal/strategy"
+)
+
+func main() {
+	log.SetFlags(0)
+	model := flag.String("model", "vgg19", "model name (see internal/models)")
+	batch := flag.Int("batch", 192, "global batch size")
+	gpus := flag.Int("gpus", 8, "testbed size: 4, 8 or 12 GPUs")
+	seed := flag.Int64("seed", 1, "profiling seed")
+	verbose := flag.Bool("v", false, "print per-unit busy times")
+	episodes := flag.Int("episodes", 4, "RL episodes for the HeteroG plan")
+	savePath := flag.String("save", "", "write the HeteroG strategy as JSON to this path")
+	tracePath := flag.String("trace", "", "write the simulated schedule as a Chrome trace to this path")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	switch *gpus {
+	case 4:
+		c = cluster.Testbed4()
+	case 8:
+		c = cluster.Testbed8()
+	case 12:
+		c = cluster.Testbed12()
+	default:
+		log.Fatalf("unsupported -gpus %d (want 4, 8 or 12)", *gpus)
+	}
+
+	g, err := models.Build(*model, *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := g.ComputeStats()
+	fmt.Printf("model %s  batch %d  ops %d  edges %d  params %.1f MB  flops %.1f G\n",
+		g.Name, *batch, st.Ops, st.Edges, float64(st.ParamBytes)/(1<<20), st.TotalFLOPs/1e9)
+
+	ev, err := core.NewEvaluator(g, c, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(label string, e *core.Evaluation) {
+		status := fmt.Sprintf("%.3fs", e.PerIter)
+		if e.Result.OOM() {
+			status = "OOM"
+		}
+		fmt.Printf("%-8s per-iter %-8s compute %.3fs comm %.3fs peakMem[0] %.2f GB peakMem[last] %.2f GB\n",
+			label, status, e.ComputeTime, e.CommTime,
+			float64(e.Result.PeakMem[0])/(1<<30), float64(e.Result.PeakMem[len(e.Result.PeakMem)-1])/(1<<30))
+		if *verbose {
+			iters := float64(e.Dist.Iterations)
+			for u, b := range e.Result.BusyTime {
+				if b > 0 {
+					fmt.Printf("    unit %2d kind %v busy/iter %.3fs\n", u, e.Dist.UnitKindOf(u), b/iters)
+				}
+			}
+		}
+	}
+
+	ag, err := agent.New(agent.DefaultConfig(c.NumDevices()), c.NumDevices())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := ag.Plan(ev, *episodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("HeteroG", plan)
+	for _, kind := range []strategy.DecisionKind{strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR} {
+		e, err := baselines.EvaluateDP(ev, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(kind.String(), e)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.Strategy.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy saved to %s\n", *savePath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.WriteChromeTrace(f, plan.Dist, plan.Result); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("schedule trace saved to %s (open in chrome://tracing)\n", *tracePath)
+	}
+	if *verbose {
+		fmt.Print(sim.GanttSummary(plan.Dist, plan.Result))
+	}
+}

@@ -1,0 +1,37 @@
+package heterog_test
+
+import (
+	"fmt"
+
+	"heterog"
+	"heterog/internal/cluster"
+	"heterog/internal/models"
+)
+
+// ExampleGetRunner mirrors the paper's Fig-5 workflow: define a single-GPU
+// model and input pipeline, describe the devices, and run the planned
+// distributed deployment.
+func ExampleGetRunner() {
+	runner, err := heterog.GetRunner(
+		heterog.ZooModel(models.MobileNetV2, 64), // model_func
+		func() (int, error) { return 64, nil },   // input_func
+		cluster.Testbed4(),                       // device_info
+		&heterog.Config{Episodes: 0},             // heterog_config
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	report, err := runner.Run(10)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("model:", runner.Graph.Name)
+	fmt.Println("steps:", report.Steps)
+	fmt.Println("feasible:", report.PerIterationSec > 0)
+	// Output:
+	// model: MobileNet_v2
+	// steps: 10
+	// feasible: true
+}

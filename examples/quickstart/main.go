@@ -1,0 +1,52 @@
+// Quickstart: the paper's Fig-5 workflow — define a single-GPU model, an
+// input pipeline and a device set, ask HeteroG for a distributed runner, and
+// run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heterog"
+	"heterog/internal/cluster"
+	"heterog/internal/models"
+)
+
+func main() {
+	// model_func: a bundled VGG-19 at global batch 192. Any graph built via
+	// internal/graph works here; the zoo is just convenient.
+	modelFunc := heterog.ZooModel(models.VGG19, 192)
+
+	// input_func: the input pipeline's global batch size.
+	inputFunc := func() (int, error) { return 192, nil }
+
+	// device_info: the paper's 8-GPU heterogeneous testbed
+	// (2x V100, 4x GTX 1080Ti, 2x P100 over 100/50GbE).
+	devices := cluster.Testbed8()
+
+	runner, err := heterog.GetRunner(modelFunc, inputFunc, devices, &heterog.Config{Episodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := runner.Run(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model:          %s\n", runner.Graph.Name)
+	fmt.Printf("per-iteration:  %.3f s\n", report.PerIterationSec)
+	fmt.Printf("500 iterations: %.1f s\n", report.TotalSec)
+	fmt.Printf("computation:    %.3f s/iter (busiest GPU)\n", report.ComputeSec)
+	fmt.Printf("communication:  %.3f s/iter (busiest link)\n", report.CommSec)
+	fmt.Println("strategy mix:")
+	for kind, share := range report.Stats.DPShare {
+		if share > 0 {
+			fmt.Printf("  %-6v %5.1f%% of ops\n", kind, 100*share)
+		}
+	}
+	for dev, share := range report.Stats.MPShare {
+		if share > 0 {
+			fmt.Printf("  MP@G%d  %5.1f%% of ops\n", dev, 100*share)
+		}
+	}
+}

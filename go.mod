@@ -1,0 +1,3 @@
+module heterog
+
+go 1.22

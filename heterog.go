@@ -1,0 +1,151 @@
+// Package heterog is the public API of HeteroG-Go, a reproduction of
+// "Optimizing Distributed Training Deployment in Heterogeneous GPU Clusters"
+// (CoNEXT 2020). It mirrors the paper's client interface (Fig 5): build a
+// single-GPU model, describe the device set, call GetRunner, and run the
+// returned distributed training plan.
+//
+//	runner, err := heterog.GetRunner(modelFunc, inputFunc, deviceInfo, &heterog.Config{})
+//	report, err := runner.Run(500)
+//
+// GetRunner converts the single-GPU graph into a distributed one by choosing,
+// per operation group, a parallelism (data-parallel with even or proportional
+// replicas, or model-parallel placement), a gradient-aggregation method (PS
+// or AllReduce), and a global execution order — then simulates training on
+// the described cluster (this build targets the bundled simulator; see
+// DESIGN.md for the substitution rationale).
+package heterog
+
+import (
+	"fmt"
+
+	"heterog/internal/agent"
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/graph"
+	"heterog/internal/strategy"
+)
+
+// ModelFunc builds the single-GPU training graph, like the paper's
+// model_func. Use graph.New and the model-building helpers, or one of the
+// bundled zoo models via ZooModel.
+type ModelFunc func() (*graph.Graph, error)
+
+// InputFunc describes the input pipeline; it returns the global batch size
+// (the dataset itself is synthetic in the simulator).
+type InputFunc func() (batchSize int, err error)
+
+// DeviceInfo describes the heterogeneous device set, like the paper's
+// device_info argument. Use cluster.New or a canned testbed.
+type DeviceInfo = cluster.Cluster
+
+// Config is the optional heterog_config object.
+type Config struct {
+	// Episodes is the RL budget for strategy search on top of the
+	// heuristic candidate pool (default 6).
+	Episodes int
+	// UseDefaultOrder disables HeteroG's execution-order scheduling and
+	// keeps the engine's FIFO order.
+	UseDefaultOrder bool
+	// Seed drives profiling and the agent (default 1).
+	Seed int64
+	// Agent overrides the strategy-search agent (e.g. one pre-trained on
+	// other graphs); nil builds a fresh one.
+	Agent *agent.Agent
+}
+
+// Runner executes a planned distributed training model.
+type Runner struct {
+	Graph    *graph.Graph
+	Cluster  *cluster.Cluster
+	Plan     *core.Evaluation
+	Strategy *strategy.Strategy
+
+	evaluator *core.Evaluator
+}
+
+// Report summarizes a training run.
+type Report struct {
+	Steps           int
+	PerIterationSec float64
+	TotalSec        float64
+	ComputeSec      float64
+	CommSec         float64
+	PeakMemBytes    []int64
+	// Stats is the per-strategy operation share (the paper's Tables 2/3).
+	Stats strategy.Stats
+}
+
+// GetRunner plans a distributed deployment for the model over the devices,
+// mirroring the paper's heterog.get_runner.
+func GetRunner(model ModelFunc, input InputFunc, devices *DeviceInfo, cfg *Config) (*Runner, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	if cfg.Episodes == 0 {
+		cfg.Episodes = 6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	g, err := model()
+	if err != nil {
+		return nil, fmt.Errorf("heterog: model_func: %w", err)
+	}
+	batch, err := input()
+	if err != nil {
+		return nil, fmt.Errorf("heterog: input_func: %w", err)
+	}
+	if batch > 0 {
+		g.BatchSize = batch
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("heterog: invalid model graph: %w", err)
+	}
+	ev, err := core.NewEvaluator(g, devices, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ev.UseFIFO = cfg.UseDefaultOrder
+	ag := cfg.Agent
+	if ag == nil {
+		acfg := agent.DefaultConfig(devices.NumDevices())
+		acfg.Seed = cfg.Seed
+		ag, err = agent.New(acfg, devices.NumDevices())
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan, err := ag.Plan(ev, cfg.Episodes)
+	if err != nil {
+		return nil, fmt.Errorf("heterog: strategy search: %w", err)
+	}
+	if plan.Result.OOM() {
+		return nil, fmt.Errorf("heterog: no strategy fits device memory for %s at batch %d", g.Name, g.BatchSize)
+	}
+	return &Runner{
+		Graph: g, Cluster: devices, Plan: plan, Strategy: plan.Strategy,
+		evaluator: ev,
+	}, nil
+}
+
+// Run executes `steps` training iterations of the planned deployment and
+// returns the aggregate report.
+func (r *Runner) Run(steps int) (*Report, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("heterog: steps must be positive, got %d", steps)
+	}
+	return &Report{
+		Steps:           steps,
+		PerIterationSec: r.Plan.PerIter,
+		TotalSec:        r.Plan.PerIter * float64(steps),
+		ComputeSec:      r.Plan.ComputeTime,
+		CommSec:         r.Plan.CommTime,
+		PeakMemBytes:    append([]int64(nil), r.Plan.Result.PeakMem...),
+		Stats:           r.Plan.StrategyStats(),
+	}, nil
+}
+
+// ZooModel adapts a bundled benchmark model into a ModelFunc.
+func ZooModel(builder func(batch int) (*graph.Graph, error), batch int) ModelFunc {
+	return func() (*graph.Graph, error) { return builder(batch) }
+}

@@ -1,0 +1,79 @@
+package heterog
+
+import (
+	"errors"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/graph"
+	"heterog/internal/models"
+)
+
+var errBoom = errors.New("boom")
+
+func TestGetRunnerQuickstart(t *testing.T) {
+	runner, err := GetRunner(
+		ZooModel(models.MobileNetV2, 64),
+		func() (int, error) { return 64, nil },
+		cluster.Testbed4(),
+		&Config{Episodes: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := runner.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.PerIterationSec <= 0 {
+		t.Fatal("per-iteration time must be positive")
+	}
+	if report.TotalSec != report.PerIterationSec*100 {
+		t.Fatal("total time must be steps x per-iteration")
+	}
+	if len(report.PeakMemBytes) != 4 {
+		t.Fatalf("peak memory for %d devices, want 4", len(report.PeakMemBytes))
+	}
+	var share float64
+	for _, v := range report.Stats.MPShare {
+		share += v
+	}
+	for _, v := range report.Stats.DPShare {
+		share += v
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("strategy shares sum to %v", share)
+	}
+}
+
+func TestGetRunnerErrors(t *testing.T) {
+	devices := cluster.Testbed4()
+	bad := func() (int, error) { return 64, nil }
+	if _, err := GetRunner(func() (*graph.Graph, error) { return nil, errBoom }, bad, devices, nil); err == nil {
+		t.Fatal("model_func errors must propagate")
+	}
+	runner, err := GetRunner(ZooModel(models.MobileNetV2, 64), bad, devices, &Config{Episodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(0); err == nil {
+		t.Fatal("non-positive steps must error")
+	}
+}
+
+func TestGetRunnerRejectsInfeasibleModel(t *testing.T) {
+	// BERT-48 at batch 24 does not fit the tiny 4-GPU testbed at all; the
+	// API must report the failure instead of returning an OOM plan.
+	small := cluster.New("tiny",
+		cluster.Config{GPUs: 2, Model: cluster.GPUModel{Name: "Tiny", PeakTFLOPS: 5, MemBytes: 4 << 30, Power: 1}, NICBandwidth: cluster.Gbps(10), PCIeBandwidth: cluster.Gbps(32)},
+	)
+	_, err := GetRunner(
+		ZooModel(func(b int) (*graph.Graph, error) { return models.BertLarge(48, b) }, 24),
+		func() (int, error) { return 24, nil },
+		small,
+		&Config{Episodes: 0},
+	)
+	if err == nil {
+		t.Fatal("expected an infeasibility error")
+	}
+}

@@ -1,0 +1,362 @@
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"heterog/internal/core"
+	"heterog/internal/gnn"
+	"heterog/internal/nn"
+	"heterog/internal/policy"
+	"heterog/internal/strategy"
+)
+
+// Config sizes the agent.
+type Config struct {
+	// MaxGroups caps the action sequence length (the paper's N, 2000).
+	MaxGroups int
+	// Entropy is the exploration-bonus weight λ.
+	Entropy float64
+	// LearningRate drives the Adam optimizer.
+	LearningRate float64
+	// GAT and Policy size the two networks; zero values pick CPU-friendly
+	// defaults (gnn.DefaultConfig / policy.DefaultConfig).
+	GAT    gnn.Config
+	Policy policy.Config
+	// Seed drives sampling and initialization.
+	Seed int64
+}
+
+// DefaultConfig returns a CPU-friendly agent for m devices.
+func DefaultConfig(m int) Config {
+	return Config{MaxGroups: 500, Entropy: 0.02, LearningRate: 3e-3, Seed: 1}
+}
+
+// Agent couples the GAT encoder and the strategy network with an optimizer
+// and the per-graph reward baselines of the paper's policy-gradient update.
+type Agent struct {
+	GAT *gnn.GAT
+	Net *policy.Network
+	Opt *nn.Adam
+
+	cfg       Config
+	m         int
+	rng       *rand.Rand
+	baselines map[string]float64
+}
+
+// New builds an agent for clusters of m devices.
+func New(cfg Config, m int) (*Agent, error) {
+	if cfg.MaxGroups <= 0 {
+		cfg.MaxGroups = 500
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 3e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gcfg := cfg.GAT
+	if gcfg.Layers == 0 {
+		gcfg = gnn.DefaultConfig(FeatureDim(m))
+	}
+	gcfg.InDim = FeatureDim(m)
+	gat, err := gnn.New(gcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	pcfg := cfg.Policy
+	if pcfg.Blocks == 0 {
+		pcfg = policy.DefaultConfig(gcfg.OutDim, strategy.ActionSpaceSize(m))
+	}
+	pcfg.InDim = gcfg.OutDim
+	pcfg.Actions = strategy.ActionSpaceSize(m)
+	net, err := policy.New(pcfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		GAT: gat, Net: net, Opt: nn.NewAdam(cfg.LearningRate),
+		cfg: cfg, m: m, rng: rng, baselines: map[string]float64{},
+	}, nil
+}
+
+// Episode is one sampled rollout on one graph.
+type Episode struct {
+	Strategy *strategy.Strategy
+	Eval     *core.Evaluation
+	Reward   float64
+	// Greedy marks argmax decoding instead of sampling.
+	Greedy bool
+}
+
+// graphState caches per-evaluator encodings across episodes.
+type graphState struct {
+	grouping  *strategy.Grouping
+	features  *nn.Matrix
+	neighbors [][]int
+	members   *nn.Matrix
+}
+
+var stateCache = map[*core.Evaluator]*graphState{}
+
+func (a *Agent) state(ev *core.Evaluator) (*graphState, error) {
+	if st, ok := stateCache[ev]; ok {
+		return st, nil
+	}
+	gr, err := strategy.Group(ev.Graph, ev.Cost, a.cfg.MaxGroups)
+	if err != nil {
+		return nil, err
+	}
+	neighbors, members := encodeStructure(ev.Graph, gr)
+	st := &graphState{
+		grouping:  gr,
+		features:  encodeFeatures(ev),
+		neighbors: neighbors,
+		members:   members,
+	}
+	stateCache[ev] = st
+	return st, nil
+}
+
+// forward runs GAT + strategy network, returning per-group action
+// probabilities and the parameter nodes for the update step.
+func (a *Agent) forward(t *nn.Tape, st *graphState) (*nn.Node, []*nn.Node, error) {
+	var params []*nn.Node
+	groups, err := a.GAT.Forward(t, st.features, st.neighbors, st.members, &params)
+	if err != nil {
+		return nil, nil, err
+	}
+	probs, err := a.Net.Forward(t, groups, &params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return probs, params, nil
+}
+
+// decode turns per-group probabilities into a strategy, sampling when greedy
+// is false.
+func (a *Agent) decode(probs *nn.Matrix, gr *strategy.Grouping, greedy bool) (*strategy.Strategy, []int, error) {
+	picks := make([]int, probs.Rows)
+	ds := make([]strategy.Decision, probs.Rows)
+	for gi := 0; gi < probs.Rows; gi++ {
+		row := probs.Row(gi)
+		var action int
+		if greedy {
+			best := -1.0
+			for j, p := range row {
+				if p > best {
+					best, action = p, j
+				}
+			}
+		} else {
+			r := a.rng.Float64()
+			var acc float64
+			action = len(row) - 1
+			for j, p := range row {
+				acc += p
+				if r <= acc {
+					action = j
+					break
+				}
+			}
+		}
+		picks[gi] = action
+		d, err := strategy.DecisionFromAction(action, a.m)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds[gi] = d
+	}
+	return &strategy.Strategy{Grouping: gr, Decisions: ds}, picks, nil
+}
+
+// RunEpisode samples one strategy for the evaluator's graph, simulates it,
+// and applies the paper's policy-gradient update:
+//
+//	θ ← θ + α (r - R̄) ∇ log π(a) + λ ∇ H(π)
+//
+// with R̄ a per-graph moving average of rewards. Set learn=false for pure
+// evaluation (no update), greedy=true for argmax decoding.
+func (a *Agent) RunEpisode(ev *core.Evaluator, learn, greedy bool) (*Episode, error) {
+	st, err := a.state(ev)
+	if err != nil {
+		return nil, err
+	}
+	t := nn.NewTape()
+	probs, params, err := a.forward(t, st)
+	if err != nil {
+		return nil, err
+	}
+	strat, picks, err := a.decode(probs.Value, st.grouping, greedy)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := ev.Evaluate(strat)
+	if err != nil {
+		return nil, err
+	}
+	reward := core.Reward(eval)
+	ep := &Episode{Strategy: strat, Eval: eval, Reward: reward, Greedy: greedy}
+	if !learn {
+		return ep, nil
+	}
+	key := ev.Graph.Name
+	baseline, ok := a.baselines[key]
+	if !ok {
+		baseline = reward
+	}
+	adv := reward - baseline
+	a.baselines[key] = 0.9*baseline + 0.1*reward
+	weights := make([]float64, len(picks))
+	for i := range weights {
+		weights[i] = adv / float64(len(picks))
+	}
+	objective := t.GatherLogProbs(probs, picks, weights)
+	if a.cfg.Entropy > 0 {
+		ent := t.Scale(t.Entropy(probs), a.cfg.Entropy/float64(len(picks)))
+		objective = t.Add(objective, ent)
+	}
+	if err := t.Backward(objective); err != nil {
+		return nil, err
+	}
+	nn.ClipGradNorm(params, 5)
+	a.Opt.Step(params, true)
+	return ep, nil
+}
+
+// Plan returns the best strategy the agent can find for the evaluator within
+// `episodes` RL rollouts, seeded with the domain-heuristic candidate pool.
+// The returned evaluation is re-simulated, so its timings are exact.
+func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error) {
+	st, err := a.state(ev)
+	if err != nil {
+		return nil, err
+	}
+	var best *core.Evaluation
+	consider := func(e *core.Evaluation) {
+		if e == nil {
+			return
+		}
+		if best == nil || e.Time() < best.Time() {
+			best = e
+		}
+	}
+	fifoEv := *ev
+	fifoEv.UseFIFO = true
+	// Heuristic candidates are independent simulations: evaluate them
+	// concurrently across the available cores.
+	cands := HeuristicCandidates(ev, st.grouping)
+	evals := make([]*core.Evaluation, len(cands))
+	fifoEvals := make([]*core.Evaluation, len(cands))
+	errs := make([]error, len(cands))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, cand := range cands {
+		wg.Add(1)
+		go func(i int, cand *strategy.Strategy) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			e, err := ev.Evaluate(cand)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			evals[i] = e
+			// HeteroG's order scheduling increases overlap — and with it
+			// the transient memory peak. A candidate can be feasible under
+			// the default FIFO order even when the ranked order overflows,
+			// so the uniform-DP candidates (and any ranked-OOM candidate)
+			// are also tried under FIFO; the order choice ships in
+			// heterog_config.
+			if i < 4 || e.Result.OOM() {
+				ef, err := fifoEv.Evaluate(cand)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				fifoEvals[i] = ef
+			}
+		}(i, cand)
+	}
+	wg.Wait()
+	for i := range cands {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("evaluate heuristic candidate: %w", errs[i])
+		}
+		consider(evals[i])
+		consider(fifoEvals[i])
+	}
+	for i := 0; i < episodes; i++ {
+		ep, err := a.RunEpisode(ev, true, false)
+		if err != nil {
+			return nil, err
+		}
+		consider(ep.Eval)
+	}
+	if episodes > 0 {
+		ep, err := a.RunEpisode(ev, false, true)
+		if err != nil {
+			return nil, err
+		}
+		consider(ep.Eval)
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no feasible strategy found for %s", ev.Graph.Name)
+	}
+	// Execution order is part of the produced configuration (§3.5's
+	// heterog_config chooses between the default order and the scheduling
+	// algorithm): keep whichever order runs the winning strategy faster.
+	if !ev.UseFIFO {
+		if e, err := fifoEv.Evaluate(best.Strategy); err == nil {
+			consider(e)
+		}
+	}
+	return best, nil
+}
+
+// TrainResult summarizes a training run (Table 6's measurements).
+type TrainResult struct {
+	Episodes     int
+	BestReward   float64
+	BestTime     float64
+	RewardsTrace []float64
+}
+
+// Train runs episodes round-robin over several graphs until the best reward
+// stops improving for `patience` consecutive rounds (or maxEpisodes is hit),
+// returning the per-graph convergence traces. This is the multi-graph
+// pre-training of §4.1.3 and the measurement behind Table 6.
+func (a *Agent) Train(evs []*core.Evaluator, maxEpisodes, patience int) ([]TrainResult, error) {
+	results := make([]TrainResult, len(evs))
+	for i := range results {
+		results[i].BestReward = -1e18
+	}
+	stale := make([]int, len(evs))
+	activeAll := true
+	for ep := 0; ep < maxEpisodes && activeAll; ep++ {
+		activeAll = false
+		for gi, ev := range evs {
+			if stale[gi] >= patience {
+				continue
+			}
+			activeAll = true
+			e, err := a.RunEpisode(ev, true, false)
+			if err != nil {
+				return nil, err
+			}
+			r := &results[gi]
+			r.Episodes++
+			r.RewardsTrace = append(r.RewardsTrace, e.Reward)
+			if e.Reward > r.BestReward+1e-9 {
+				r.BestReward = e.Reward
+				r.BestTime = e.Eval.Time()
+				stale[gi] = 0
+			} else {
+				stale[gi]++
+			}
+		}
+	}
+	return results, nil
+}

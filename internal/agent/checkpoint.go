@@ -1,0 +1,58 @@
+package agent
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"heterog/internal/gnn"
+	"heterog/internal/policy"
+)
+
+// checkpoint is the serialized form of the agent's learnable state: the GAT
+// encoder and strategy network weights, plus the per-graph reward baselines.
+// Optimizer moments are deliberately not persisted — fine-tuning resumes
+// with a fresh Adam state, as is standard for transfer.
+type checkpoint struct {
+	Version   int
+	GAT       *gnn.GAT
+	Net       *policy.Network
+	Baselines map[string]float64
+}
+
+// SaveWeights writes the agent's networks and baselines as a gob stream.
+func (a *Agent) SaveWeights(w io.Writer) error {
+	ck := checkpoint{Version: 1, GAT: a.GAT, Net: a.Net, Baselines: a.baselines}
+	if err := gob.NewEncoder(w).Encode(&ck); err != nil {
+		return fmt.Errorf("agent: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadWeights restores networks saved by SaveWeights. The checkpoint must
+// have been produced for the same cluster size (action-space width).
+func (a *Agent) LoadWeights(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("agent: load checkpoint: %w", err)
+	}
+	if ck.Version != 1 {
+		return fmt.Errorf("agent: unsupported checkpoint version %d", ck.Version)
+	}
+	if ck.Net == nil || ck.GAT == nil {
+		return fmt.Errorf("agent: checkpoint missing networks")
+	}
+	if ck.Net.Actions != a.Net.Actions {
+		return fmt.Errorf("agent: checkpoint trained for %d actions, this agent needs %d (different cluster size)",
+			ck.Net.Actions, a.Net.Actions)
+	}
+	if ck.GAT.InDim != a.GAT.InDim {
+		return fmt.Errorf("agent: checkpoint feature width %d, this agent needs %d", ck.GAT.InDim, a.GAT.InDim)
+	}
+	a.GAT = ck.GAT
+	a.Net = ck.Net
+	if ck.Baselines != nil {
+		a.baselines = ck.Baselines
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package agent
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	// Train a little so the weights and baselines are non-trivial.
+	for i := 0; i < 2; i++ {
+		if _, err := a.RunEpisode(ev, true, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := a.RunEpisode(ev, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newAgent(t, 4)
+	if err := fresh.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fresh.RunEpisode(ev, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Strategy.Decisions {
+		if before.Strategy.Decisions[i] != after.Strategy.Decisions[i] {
+			t.Fatal("restored agent must decode the same greedy strategy")
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatchedCluster(t *testing.T) {
+	a8 := newAgent(t, 8)
+	var buf bytes.Buffer
+	if err := a8.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a4 := newAgent(t, 4)
+	if err := a4.LoadWeights(&buf); err == nil {
+		t.Fatal("loading an 8-GPU checkpoint into a 4-GPU agent must fail")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	a := newAgent(t, 4)
+	if err := a.LoadWeights(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage checkpoint must fail")
+	}
+}

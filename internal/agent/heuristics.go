@@ -1,0 +1,251 @@
+package agent
+
+import (
+	"sort"
+
+	"heterog/internal/compiler"
+	"heterog/internal/core"
+	"heterog/internal/strategy"
+)
+
+// HeuristicCandidates generates the domain-informed seed strategies the
+// agent's search starts from. The paper's agent reaches these regions of the
+// strategy space through long RL exploration on GPUs; seeding reproduces the
+// same end points within a CPU budget (a documented substitution — see
+// DESIGN.md). Every candidate is a valid point in the same M+4 action space
+// the GNN emits.
+func HeuristicCandidates(ev *core.Evaluator, gr *strategy.Grouping) []*strategy.Strategy {
+	g := ev.Graph
+	m := ev.Cluster.NumDevices()
+	var out []*strategy.Strategy
+
+	// 1. The four uniform DP schemes.
+	for _, kind := range []strategy.DecisionKind{
+		strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR,
+	} {
+		out = append(out, strategy.Uniform(gr, strategy.Decision{Kind: kind}))
+	}
+
+	// Anchor metadata per group.
+	type ginfo struct {
+		idx        int
+		paramBytes int64
+		avgTime    float64
+		layerFrac  float64
+	}
+	maxLayer := 1
+	for _, op := range g.Ops {
+		if op.Layer > maxLayer {
+			maxLayer = op.Layer
+		}
+	}
+	infos := make([]ginfo, gr.NumGroups())
+	for gi := range gr.Members {
+		info := ginfo{idx: gi}
+		for _, opID := range gr.Members[gi] {
+			op := g.Ops[opID]
+			if !op.Kind.IsBackward() {
+				info.paramBytes += op.ParamBytes
+			}
+			info.avgTime += ev.Cost.AvgOpTime(op)
+			info.layerFrac += float64(op.Layer) / float64(maxLayer)
+		}
+		info.layerFrac /= float64(len(gr.Members[gi]))
+		infos[gi] = info
+	}
+
+	// Fast devices in descending power (ties by ID) for MP placement.
+	devs := make([]int, m)
+	for i := range devs {
+		devs[i] = i
+	}
+	sort.SliceStable(devs, func(a, b int) bool {
+		return ev.Cluster.Devices[devs[a]].Model.Power > ev.Cluster.Devices[devs[b]].Model.Power
+	})
+
+	// 2. "Eliminate large gradient aggregation": groups owning heavy
+	// parameters go model-parallel on a fast device; the rest stays DP.
+	// (Table 2's observed HeteroG pattern.) Generated at two thresholds and
+	// with each DP backfill.
+	for _, thresholdMB := range []int64{16, 64} {
+		for _, rest := range []strategy.DecisionKind{strategy.DPPropAR, strategy.DPEvenAR, strategy.DPPropPS} {
+			ds := make([]strategy.Decision, gr.NumGroups())
+			slot := 0
+			for gi, info := range infos {
+				if info.paramBytes >= thresholdMB<<20 {
+					// Rotate over the two fastest devices to avoid piling
+					// every heavy layer onto one GPU.
+					ds[gi] = strategy.Decision{Kind: strategy.MP, Device: devs[slot%2]}
+					slot++
+				} else {
+					ds[gi] = strategy.Decision{Kind: rest}
+				}
+			}
+			out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+		}
+	}
+
+	// 3. Hybrid PS/AllReduce: PS for groups whose gradients appear late in
+	// backward (front layers — their pulls gate the next iteration's start),
+	// AllReduce for back layers whose collectives overlap remaining backward
+	// work. Plus the reverse split, and both with the heavy-param MP rule.
+	// Aggregation method does not change the replica layout, so mixing PS
+	// and AR per group costs no Split/Concat glue.
+	for _, mp := range []bool{false, true} {
+		for _, frontPS := range []bool{true, false} {
+			ds := make([]strategy.Decision, gr.NumGroups())
+			slot := 0
+			for gi, info := range infos {
+				if mp && info.paramBytes >= 64<<20 {
+					ds[gi] = strategy.Decision{Kind: strategy.MP, Device: devs[slot%2]}
+					slot++
+					continue
+				}
+				front := info.layerFrac < 0.5
+				if front == frontPS {
+					ds[gi] = strategy.Decision{Kind: strategy.DPPropPS}
+				} else {
+					ds[gi] = strategy.Decision{Kind: strategy.DPPropAR}
+				}
+			}
+			out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+		}
+	}
+
+	// 4. Fig 3(b)'s insight: the V100-vs-1080Ti speedup varies 1.1-1.9x per
+	// op kind, so proportional replication helps only ops that actually run
+	// proportionally faster on the big GPUs. Mix EV and CP per group by the
+	// measured per-op speedup, with both aggregation methods, with and
+	// without the heavy-parameter MP rule.
+	// Switching between EV and CP layouts mid-graph inserts Split/Concat
+	// glue on every crossing edge, so layout mixes must be layer-contiguous:
+	// one boundary at a layer-depth quantile.
+	for _, split := range []float64{0.3, 0.5, 0.7} {
+		for _, frontEV := range []bool{true, false} {
+			ds := make([]strategy.Decision, gr.NumGroups())
+			for gi, info := range infos {
+				if (info.layerFrac < split) == frontEV {
+					ds[gi] = strategy.Decision{Kind: strategy.DPEvenAR}
+				} else {
+					ds[gi] = strategy.Decision{Kind: strategy.DPPropAR}
+				}
+			}
+			out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+		}
+	}
+
+	// 5. Load-aware MP: heavy-parameter groups go to whichever device has
+	// accumulated the least model-parallel compute so far, keeping the fast
+	// GPUs free for their replica share.
+	for _, rest := range []strategy.DecisionKind{strategy.DPPropAR, strategy.DPEvenAR} {
+		ds := make([]strategy.Decision, gr.NumGroups())
+		load := make([]float64, m)
+		for d := range load {
+			// Bias by inverse power: a slow GPU starts "more loaded".
+			load[d] = 1e-3 / ev.Cluster.Devices[d].Model.Power
+		}
+		for gi, info := range infos {
+			if info.paramBytes < 32<<20 {
+				ds[gi] = strategy.Decision{Kind: rest}
+				continue
+			}
+			best := 0
+			for d := 1; d < m; d++ {
+				if load[d] < load[best] {
+					best = d
+				}
+			}
+			ds[gi] = strategy.Decision{Kind: strategy.MP, Device: best}
+			load[best] += info.avgTime
+		}
+		out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+	}
+
+	// 6. Layer-pipelined model parallelism for memory-constrained models:
+	// contiguous layer ranges across all devices (Table 3's observed
+	// pattern for large models), split either by compute power (fast
+	// devices take more layers) or by usable memory (for workloads near
+	// device capacity), optionally keeping cheap batch-dim groups
+	// data-parallel.
+	shareBy := func(weight func(d int) float64) func(frac float64) int {
+		var total float64
+		w := make([]float64, m)
+		for d := 0; d < m; d++ {
+			w[d] = weight(d)
+			total += w[d]
+		}
+		return func(frac float64) int {
+			var acc float64
+			for d := 0; d < m; d++ {
+				acc += w[d] / total
+				if frac <= acc {
+					return d
+				}
+			}
+			return m - 1
+		}
+	}
+	splits := []func(frac float64) int{
+		shareBy(func(d int) float64 { return ev.Cluster.Devices[d].Model.Power }),
+		shareBy(func(d int) float64 { return float64(ev.Cluster.Devices[d].UsableMemBytes()) }),
+	}
+	for _, devFor := range splits {
+		for _, mixDP := range []bool{false, true} {
+			ds := make([]strategy.Decision, gr.NumGroups())
+			for gi, info := range infos {
+				if mixDP && info.paramBytes < 1<<20 {
+					ds[gi] = strategy.Decision{Kind: strategy.DPPropAR}
+					continue
+				}
+				ds[gi] = strategy.Decision{Kind: strategy.MP, Device: devFor(info.layerFrac)}
+			}
+			out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+		}
+	}
+
+	// 7. Memory-packed pipeline: activation bytes per layer are far from
+	// uniform (early CNN stages have large spatial tensors), so for models
+	// near device capacity the contiguous layer ranges are packed so that
+	// each device's share of the total activation bytes matches its share
+	// of usable memory.
+	{
+		order := make([]int, len(infos))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return infos[order[a]].layerFrac < infos[order[b]].layerFrac
+		})
+		actBytes := make([]float64, gr.NumGroups())
+		var totalAct float64
+		for gi := range gr.Members {
+			for _, opID := range gr.Members[gi] {
+				op := g.Ops[opID]
+				if !op.Kind.IsBackward() && op.BatchDim {
+					actBytes[gi] += float64(op.OutputBytes) / compiler.FusionDiscount(op.Kind)
+				}
+			}
+			totalAct += actBytes[gi]
+		}
+		var totalMem float64
+		for d := 0; d < m; d++ {
+			totalMem += float64(ev.Cluster.Devices[d].UsableMemBytes())
+		}
+		ds := make([]strategy.Decision, gr.NumGroups())
+		dev := 0
+		var filled float64
+		quota := func(d int) float64 {
+			return totalAct * float64(ev.Cluster.Devices[d].UsableMemBytes()) / totalMem
+		}
+		for _, gi := range order {
+			if filled >= quota(dev) && dev < m-1 {
+				dev++
+				filled = 0
+			}
+			ds[gi] = strategy.Decision{Kind: strategy.MP, Device: dev}
+			filled += actBytes[gi]
+		}
+		out = append(out, &strategy.Strategy{Grouping: gr, Decisions: ds})
+	}
+	return out
+}

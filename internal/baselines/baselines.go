@@ -1,0 +1,200 @@
+// Package baselines implements the comparison schemes of the evaluation:
+// the four pure data-parallel strategies (EV-PS, EV-AR, CP-PS, CP-AR) and
+// approximations of the four external systems of Fig 9 — Horovod, Post,
+// FlexFlow and HetPipe — each exploring its own strategy space inside our
+// simulator, at the fidelity the paper itself used when re-implementing them.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"heterog/internal/core"
+	"heterog/internal/graph"
+	"heterog/internal/strategy"
+)
+
+// DP returns the uniform data-parallel strategy of the given kind over the
+// evaluator's graph (one group per op is unnecessary: a single group with
+// identical decisions is equivalent, but we keep per-op groups so Tables 2/3
+// stats are comparable).
+func DP(ev *core.Evaluator, kind strategy.DecisionKind) (*strategy.Strategy, error) {
+	if !kind.IsDP() {
+		return nil, fmt.Errorf("DP baseline requires a DP kind, got %v", kind)
+	}
+	gr, err := strategy.Group(ev.Graph, ev.Cost, ev.Graph.NumOps())
+	if err != nil {
+		return nil, err
+	}
+	return strategy.Uniform(gr, strategy.Decision{Kind: kind}), nil
+}
+
+// EvaluateDP builds and evaluates a pure-DP baseline. Baselines execute with
+// TensorFlow's default FIFO op order — HeteroG's rank-based order scheduling
+// is part of HeteroG, not of the baselines (Table 7 quantifies the gap).
+func EvaluateDP(ev *core.Evaluator, kind strategy.DecisionKind) (*core.Evaluation, error) {
+	s, err := DP(ev, kind)
+	if err != nil {
+		return nil, err
+	}
+	fifo := *ev
+	fifo.UseFIFO = true
+	return fifo.Evaluate(s)
+}
+
+// Horovod is all-AllReduce data parallelism with one replica per device —
+// identical to EV-AR (Horovod's design point).
+func Horovod(ev *core.Evaluator) (*core.Evaluation, error) {
+	return EvaluateDP(ev, strategy.DPEvenAR)
+}
+
+// Post approximates POST (Gao et al.): device placement of each operation via
+// randomized proximal search, with no operation replication and no
+// communication-method choice — every op is model-parallel somewhere. It
+// performs cross-entropy-style iterations: sample placements around the
+// incumbent, keep the elite. Like all baselines it runs under FIFO order.
+func Post(evIn *core.Evaluator, rng *rand.Rand, iters int) (*core.Evaluation, error) {
+	fifo := *evIn
+	fifo.UseFIFO = true
+	ev := &fifo
+	gr, err := strategy.Group(ev.Graph, ev.Cost, 64)
+	if err != nil {
+		return nil, err
+	}
+	m := ev.Cluster.NumDevices()
+	cur := make([]strategy.Decision, gr.NumGroups())
+	// Start from a load-balanced round-robin over layers.
+	for i := range cur {
+		cur[i] = strategy.Decision{Kind: strategy.MP, Device: i % m}
+	}
+	best, err := ev.Evaluate(&strategy.Strategy{Grouping: gr, Decisions: append([]strategy.Decision(nil), cur...)})
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < iters; it++ {
+		cand := append([]strategy.Decision(nil), best.Strategy.Decisions...)
+		// Mutate a few groups' devices.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			cand[rng.Intn(len(cand))] = strategy.Decision{Kind: strategy.MP, Device: rng.Intn(m)}
+		}
+		e, err := ev.Evaluate(&strategy.Strategy{Grouping: gr, Decisions: cand})
+		if err != nil {
+			return nil, err
+		}
+		if e.Time() < best.Time() {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// FlexFlow approximates FlexFlow's MCMC search over the SOAP space: per-group
+// choice between replication degrees and placements, but — as the paper notes
+// — without gradient-aggregation-method or execution-order decisions: all DP
+// groups use AllReduce and the order is FIFO.
+func FlexFlow(ev *core.Evaluator, rng *rand.Rand, iters int) (*core.Evaluation, error) {
+	gr, err := strategy.Group(ev.Graph, ev.Cost, 64)
+	if err != nil {
+		return nil, err
+	}
+	m := ev.Cluster.NumDevices()
+	fifo := *ev
+	fifo.UseFIFO = true
+	sample := func(d strategy.Decision) strategy.Decision {
+		switch rng.Intn(3) {
+		case 0:
+			return strategy.Decision{Kind: strategy.MP, Device: rng.Intn(m)}
+		case 1:
+			return strategy.Decision{Kind: strategy.DPEvenAR}
+		default:
+			return strategy.Decision{Kind: strategy.DPPropAR}
+		}
+	}
+	// FlexFlow's search starts from the batch-dimension parallel config its
+	// own paper's incremental search would find first (proportional
+	// replication over the heterogeneous devices).
+	cur := make([]strategy.Decision, gr.NumGroups())
+	for i := range cur {
+		cur[i] = strategy.Decision{Kind: strategy.DPPropAR}
+	}
+	best, err := fifo.Evaluate(&strategy.Strategy{Grouping: gr, Decisions: append([]strategy.Decision(nil), cur...)})
+	if err != nil {
+		return nil, err
+	}
+	curEval := best
+	for it := 0; it < iters; it++ {
+		cand := append([]strategy.Decision(nil), curEval.Strategy.Decisions...)
+		gi := rng.Intn(len(cand))
+		cand[gi] = sample(cand[gi])
+		e, err := fifo.Evaluate(&strategy.Strategy{Grouping: gr, Decisions: cand})
+		if err != nil {
+			return nil, err
+		}
+		// Metropolis acceptance on simulated time.
+		if e.Time() < curEval.Time() || rng.Float64() < math.Exp((curEval.Time()-e.Time())/math.Max(curEval.Time()*0.05, 1e-9)) {
+			curEval = e
+		}
+		if curEval.Time() < best.Time() {
+			best = curEval
+		}
+	}
+	return best, nil
+}
+
+// HetPipe approximates HetPipe's virtual workers: devices are partitioned
+// into virtual workers of similar aggregate power; layers are pipeline-
+// partitioned across the devices inside each virtual worker (contiguous
+// layer ranges, model parallelism) and data parallelism with PS aggregation
+// runs across virtual workers. Operation-level optimization, aggregation-
+// method selection and order scheduling are absent, as the paper notes.
+func HetPipe(ev *core.Evaluator) (*core.Evaluation, error) {
+	m := ev.Cluster.NumDevices()
+	// Virtual workers of 4 GPUs (the HetPipe paper's configuration), grouped
+	// so each virtual worker mixes device speeds.
+	vwSize := 4
+	if m < vwSize {
+		vwSize = m
+	}
+	numVW := m / vwSize
+	if numVW < 1 {
+		numVW = 1
+	}
+	gr, err := strategy.Group(ev.Graph, ev.Cost, 64)
+	if err != nil {
+		return nil, err
+	}
+	// Order groups by anchor layer to form contiguous pipeline stages.
+	decisions := make([]strategy.Decision, gr.NumGroups())
+	for gi := range decisions {
+		anchor := ev.Graph.Ops[gr.Anchors[gi]]
+		stage := 0
+		if maxLayer := maxLayerOf(ev.Graph); maxLayer > 0 {
+			stage = anchor.Layer * vwSize / (maxLayer + 1)
+			if stage >= vwSize {
+				stage = vwSize - 1
+			}
+		}
+		// Within its virtual worker, a stage occupies one device; replicate
+		// the stage across virtual workers via proportional DP-PS when there
+		// are several, else pure MP.
+		if numVW > 1 {
+			decisions[gi] = strategy.Decision{Kind: strategy.DPPropPS}
+		} else {
+			decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: stage}
+		}
+	}
+	fifo := *ev
+	fifo.UseFIFO = true
+	return fifo.Evaluate(&strategy.Strategy{Grouping: gr, Decisions: decisions})
+}
+
+func maxLayerOf(g *graph.Graph) int {
+	max := 0
+	for _, op := range g.Ops {
+		if op.Layer > max {
+			max = op.Layer
+		}
+	}
+	return max
+}

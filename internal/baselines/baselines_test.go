@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/models"
+	"heterog/internal/strategy"
+)
+
+func evaluatorFor(t *testing.T) *core.Evaluator {
+	t.Helper()
+	g, err := models.VGG19(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestDPRejectsMP(t *testing.T) {
+	ev := evaluatorFor(t)
+	if _, err := DP(ev, strategy.MP); err == nil {
+		t.Fatal("DP baseline must reject MP")
+	}
+}
+
+func TestAllDPBaselinesRun(t *testing.T) {
+	ev := evaluatorFor(t)
+	times := map[strategy.DecisionKind]float64{}
+	for _, kind := range []strategy.DecisionKind{
+		strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR,
+	} {
+		e, err := EvaluateDP(ev, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.PerIter <= 0 {
+			t.Fatalf("%v produced non-positive time", kind)
+		}
+		times[kind] = e.PerIter
+	}
+	// On the 2xV100 + 2x1080Ti testbed, proportional replicas beat even
+	// ones (Fig 3a's premise).
+	if times[strategy.DPPropAR] >= times[strategy.DPEvenAR] {
+		t.Fatalf("CP-AR (%.4f) should beat EV-AR (%.4f) on a heterogeneous cluster",
+			times[strategy.DPPropAR], times[strategy.DPEvenAR])
+	}
+}
+
+func TestHorovodIsEVAR(t *testing.T) {
+	ev := evaluatorFor(t)
+	h, err := Horovod(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EvaluateDP(ev, strategy.DPEvenAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PerIter != e.PerIter {
+		t.Fatalf("Horovod (%.4f) must equal EV-AR (%.4f)", h.PerIter, e.PerIter)
+	}
+}
+
+func TestPostProducesPureMP(t *testing.T) {
+	ev := evaluatorFor(t)
+	e, err := Post(ev, rand.New(rand.NewSource(1)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range e.Strategy.Decisions {
+		if d.Kind != strategy.MP {
+			t.Fatal("Post explores placement only: every decision must be MP")
+		}
+	}
+}
+
+func TestPostSearchImprovesOrHolds(t *testing.T) {
+	ev := evaluatorFor(t)
+	rng := rand.New(rand.NewSource(2))
+	short, err := Post(ev, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(2))
+	long, err := Post(ev, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Time() > short.Time()+1e-9 {
+		t.Fatal("more search iterations must never worsen the best placement")
+	}
+}
+
+func TestFlexFlowStaysInItsSpace(t *testing.T) {
+	ev := evaluatorFor(t)
+	e, err := FlexFlow(ev, rand.New(rand.NewSource(3)), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range e.Strategy.Decisions {
+		switch d.Kind {
+		case strategy.MP, strategy.DPEvenAR, strategy.DPPropAR:
+		default:
+			t.Fatalf("FlexFlow must not choose %v (no PS in its space)", d.Kind)
+		}
+	}
+}
+
+func TestHetPipeRuns(t *testing.T) {
+	ev := evaluatorFor(t)
+	e, err := HetPipe(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PerIter <= 0 {
+		t.Fatal("HetPipe must produce a positive per-iteration time")
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTestbedShapes(t *testing.T) {
+	cases := []struct {
+		c       *Cluster
+		devices int
+		servers int
+	}{
+		{Testbed12(), 12, 5},
+		{Testbed8(), 8, 4},
+		{Testbed4(), 4, 2},
+	}
+	for _, tc := range cases {
+		if tc.c.NumDevices() != tc.devices {
+			t.Errorf("%s: %d devices, want %d", tc.c.Name, tc.c.NumDevices(), tc.devices)
+		}
+		if len(tc.c.Servers) != tc.servers {
+			t.Errorf("%s: %d servers, want %d", tc.c.Name, len(tc.c.Servers), tc.servers)
+		}
+		if tc.c.NumLinks() != tc.devices*(tc.devices-1) {
+			t.Errorf("%s: %d links, want %d", tc.c.Name, tc.c.NumLinks(), tc.devices*(tc.devices-1))
+		}
+	}
+}
+
+func TestTestbed8DeviceLayout(t *testing.T) {
+	// Table 2's caption: G0,G1 V100; G2-G5 1080Ti; G6,G7 P100.
+	c := Testbed8()
+	want := []string{
+		TeslaV100.Name, TeslaV100.Name,
+		GTX1080Ti.Name, GTX1080Ti.Name, GTX1080Ti.Name, GTX1080Ti.Name,
+		TeslaP100.Name, TeslaP100.Name,
+	}
+	for i, name := range want {
+		if c.Devices[i].Model.Name != name {
+			t.Errorf("G%d is %s, want %s", i, c.Devices[i].Model.Name, name)
+		}
+	}
+}
+
+func TestLinkClassification(t *testing.T) {
+	c := Testbed8()
+	intra, err := c.LinkBetween(0, 1) // both on the V100 server
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intra.SameServer || intra.Bandwidth != c.Servers[0].PCIeBandwidth {
+		t.Fatalf("intra-server link misclassified: %+v", intra)
+	}
+	inter, err := c.LinkBetween(0, 2) // V100 server to a 1080Ti server
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.SameServer {
+		t.Fatal("cross-server link marked same-server")
+	}
+	// Bottlenecked by the slower 50GbE NIC.
+	if inter.Bandwidth != Gbps(50) {
+		t.Fatalf("cross link bandwidth %v, want %v", inter.Bandwidth, Gbps(50))
+	}
+	if inter.Latency <= intra.Latency {
+		t.Fatal("cross-server latency should exceed intra-server latency")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	c := Testbed4()
+	if _, err := c.LinkBetween(1, 1); err == nil {
+		t.Fatal("self link must error")
+	}
+	if _, err := c.LinkBetween(0, 99); err == nil {
+		t.Fatal("out-of-range link must error")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := Testbed8()
+	if got := c.TransferTime(3, 3, 1<<20); got != 0 {
+		t.Fatalf("same-device transfer cost %v, want 0", got)
+	}
+	small := c.TransferTime(0, 2, 1<<10)
+	large := c.TransferTime(0, 2, 1<<30)
+	if large <= small {
+		t.Fatal("transfer time must grow with bytes")
+	}
+	// 1 GiB over 50GbE is ~0.17s.
+	if large < 0.1 || large > 0.3 {
+		t.Fatalf("1GiB cross-server transfer %vs out of plausible range", large)
+	}
+}
+
+func TestProportionalReplicasSumProperty(t *testing.T) {
+	c := Testbed12()
+	f := func(total uint8) bool {
+		n := int(total)
+		counts := c.ProportionalReplicas(n)
+		sum := 0
+		for _, k := range counts {
+			if k < 0 {
+				return false
+			}
+			sum += k
+		}
+		return sum == n || n == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalReplicasFavorsPower(t *testing.T) {
+	c := Testbed8()
+	counts := c.ProportionalReplicas(10)
+	// V100s (power 2) should get twice the 1080Ti/P100 share.
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("V100 counts %v, want 2 each", counts[:2])
+	}
+	for d := 2; d < 8; d++ {
+		if counts[d] != 1 {
+			t.Fatalf("device %d count %d, want 1", d, counts[d])
+		}
+	}
+}
+
+func TestNICLanes(t *testing.T) {
+	c := Testbed8()
+	if c.Servers[0].NICLanes != 2 {
+		t.Fatalf("100GbE server should have 2 lanes, got %d", c.Servers[0].NICLanes)
+	}
+	for s := 1; s < 4; s++ {
+		if c.Servers[s].NICLanes != 1 {
+			t.Fatalf("50GbE server %d should have 1 lane, got %d", s, c.Servers[s].NICLanes)
+		}
+	}
+}
+
+func TestUsableMemBytes(t *testing.T) {
+	c := Testbed8()
+	for _, d := range c.Devices {
+		if d.UsableMemBytes() >= d.Model.MemBytes {
+			t.Fatal("usable memory must subtract the runtime reserve")
+		}
+		if d.UsableMemBytes() <= 0 {
+			t.Fatal("usable memory must stay positive")
+		}
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	c := Testbed8()
+	// 2x2.0 + 6x1.0 = 10.
+	if got := c.TotalPower(); got != 10 {
+		t.Fatalf("total power %v, want 10", got)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	c := Homogeneous(5, GTX1080Ti)
+	if c.NumDevices() != 5 || len(c.Servers) != 1 {
+		t.Fatalf("homogeneous shape %d devices %d servers", c.NumDevices(), len(c.Servers))
+	}
+	l, err := c.LinkBetween(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.SameServer {
+		t.Fatal("single-server cluster should have only intra links")
+	}
+}
+
+func TestDevicesOnServerIsCopy(t *testing.T) {
+	c := Testbed8()
+	ds := c.DevicesOnServer(0)
+	ds[0] = 999
+	if c.Servers[0].Devices[0] == 999 {
+		t.Fatal("DevicesOnServer must return a copy")
+	}
+}
+
+func TestTransferMonotoneInBytesProperty(t *testing.T) {
+	c := Testbed12()
+	rng := rand.New(rand.NewSource(1))
+	f := func(a, b uint32) bool {
+		src := rng.Intn(c.NumDevices())
+		dst := rng.Intn(c.NumDevices())
+		if src == dst {
+			return true
+		}
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.TransferTime(src, dst, lo) <= c.TransferTime(src, dst, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,421 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/graph"
+	"heterog/internal/models"
+	"heterog/internal/profile"
+	"heterog/internal/strategy"
+)
+
+func setup(t *testing.T, modelKey string, batch int) (*graph.Graph, *cluster.Cluster, *profile.CostModel, *strategy.Grouping) {
+	t.Helper()
+	g, err := models.Build(modelKey, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed8()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c, cm, gr
+}
+
+func compileUniform(t *testing.T, kind strategy.DecisionKind) (*graph.Graph, *DistGraph) {
+	t.Helper()
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: kind})
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, dg
+}
+
+func TestCompileValidatesForAllKinds(t *testing.T) {
+	for _, kind := range []strategy.DecisionKind{
+		strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR,
+	} {
+		_, dg := compileUniform(t, kind)
+		if err := dg.Validate(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestEvenDPReplicatesPerDevice(t *testing.T) {
+	g, dg := compileUniform(t, strategy.DPEvenAR)
+	// Every batched compute op should have 8 instances; no Split/Concat
+	// glue because all layouts align.
+	perOp := map[int]int{}
+	for _, op := range dg.Ops {
+		if op.Src != nil && op.Src.Kind == graph.KindConv2D {
+			perOp[op.Src.ID]++
+		}
+		if op.Kind == graph.KindSplit || op.Kind == graph.KindConcat {
+			t.Fatalf("aligned layouts must not need %v (%s)", op.Kind, op.Name)
+		}
+	}
+	for id, n := range perOp {
+		if n != 8 {
+			t.Fatalf("op %d has %d replicas, want 8", id, n)
+		}
+	}
+	_ = g
+}
+
+func TestMPPlacesEverythingOnOneDevice(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.MP, Device: 3})
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range dg.Ops {
+		if op.Kind.IsComm() {
+			t.Fatalf("single-device MP should need no communication, found %s", op.Name)
+		}
+		if len(op.Units) != 1 || op.Units[0] != 3 {
+			t.Fatalf("op %s on units %v, want [3]", op.Name, op.Units)
+		}
+	}
+}
+
+func TestMPAcrossDevicesCreatesSends(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.MP, Device: 0})
+	// Move the back half to device 5 (another server).
+	for gi := range s.Decisions {
+		anchor := g.Ops[gr.Anchors[gi]]
+		if anchor.Layer > 4 {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: 5}
+		}
+	}
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends := 0
+	for _, op := range dg.Ops {
+		if op.Kind == graph.KindSend {
+			sends++
+		}
+	}
+	if sends == 0 {
+		t.Fatal("cross-device MP boundary must transfer activations")
+	}
+}
+
+func TestPSAggregationStructure(t *testing.T) {
+	_, dg := compileUniform(t, strategy.DPEvenPS)
+	pushes, pulls, aggs, collectives := 0, 0, 0, 0
+	for _, op := range dg.Ops {
+		switch {
+		case strings.Contains(op.Name, "_push@"):
+			pushes++
+		case strings.Contains(op.Name, "_pull@") || strings.Contains(op.Name, "_relay@"):
+			pulls++
+		case op.Kind == graph.KindGradAgg:
+			aggs++
+		case op.Kind == graph.KindAllReduce:
+			collectives++
+		}
+	}
+	if collectives != 0 {
+		t.Fatal("PS strategy must not emit NCCL collectives")
+	}
+	// VGG-19 has 19 parameterized ops: one aggregation each, 7 pushes each.
+	if aggs != 19 {
+		t.Fatalf("%d aggregation ops, want 19", aggs)
+	}
+	if pushes != 19*7 {
+		t.Fatalf("%d pushes, want %d", pushes, 19*7)
+	}
+	if pulls != 19*7 {
+		t.Fatalf("%d pulls+relays, want %d (one per non-PS replica)", pulls, 19*7)
+	}
+}
+
+func TestARAggregationStructure(t *testing.T) {
+	_, dg := compileUniform(t, strategy.DPEvenAR)
+	collectives := 0
+	ncclUnit := dg.ncclUnit()
+	for _, op := range dg.Ops {
+		if op.Kind == graph.KindAllReduce {
+			collectives++
+			if len(op.Inputs) != 8 {
+				t.Fatalf("collective %s aggregates %d replicas, want 8", op.Name, len(op.Inputs))
+			}
+			onNCCL := false
+			for _, u := range op.Units {
+				if u == ncclUnit {
+					onNCCL = true
+				}
+			}
+			if !onNCCL {
+				t.Fatalf("collective %s does not hold the NCCL unit", op.Name)
+			}
+		}
+		if op.Kind == graph.KindGradAgg {
+			t.Fatal("AR strategy must not emit PS aggregations")
+		}
+	}
+	if collectives != 19 {
+		t.Fatalf("%d collectives, want 19 (one per parameterized op)", collectives)
+	}
+}
+
+func TestGradientAggregationConservation(t *testing.T) {
+	// Semantics-preservation proxy: under PS, every parameterized op's
+	// gradient is pushed once per non-PS replica at the full gradient size
+	// (dense ops), so synchronous SGD sees every replica's contribution.
+	g, dg := compileUniform(t, strategy.DPEvenPS)
+	pushBytes := map[string]int64{}
+	for _, op := range dg.Ops {
+		if strings.Contains(op.Name, "_push@") {
+			base := op.Name[strings.Index(op.Name, "/")+1 : strings.Index(op.Name, "_push@")]
+			pushBytes[base] += op.OutBytes
+		}
+	}
+	for _, op := range g.Ops {
+		if op.ParamBytes > 0 && op.Kind.IsBackward() && op.SparseGradBytes == 0 {
+			want := op.ParamBytes * 7
+			if got := pushBytes[op.Name]; got != want {
+				t.Fatalf("%s: pushed %d bytes, want %d", op.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestProportionalLayout(t *testing.T) {
+	c := cluster.Testbed8()
+	counts := PropReplicaCounts(c)
+	want := []int{2, 2, 1, 1, 1, 1, 1, 1}
+	for i, k := range counts {
+		if k != want[i] {
+			t.Fatalf("prop counts %v, want %v", counts, want)
+		}
+	}
+	lay := layoutFor(strategy.Decision{Kind: strategy.DPPropAR}, c)
+	if lay.fracs[0] != 0.2 || lay.fracs[2] != 0.1 {
+		t.Fatalf("prop fractions %v", lay.fracs)
+	}
+	var sum float64
+	for _, f := range lay.fracs {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestMismatchedLayoutsInsertGlue(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+	// Flip the back half to proportional: the boundary needs Concat+Split.
+	for gi := range s.Decisions {
+		if g.Ops[gr.Anchors[gi]].Layer > 4 {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.DPPropAR}
+		}
+	}
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concats, splits := 0, 0
+	for _, op := range dg.Ops {
+		switch op.Kind {
+		case graph.KindConcat:
+			concats++
+		case graph.KindSplit:
+			splits++
+		}
+	}
+	if concats == 0 || splits == 0 {
+		t.Fatalf("layout boundary needs glue: %d concats, %d splits", concats, splits)
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentMemoryAccounting(t *testing.T) {
+	g, dg := compileUniform(t, strategy.DPEvenAR)
+	var params int64
+	for _, op := range g.Ops {
+		if op.ParamBytes > 0 && !op.Kind.IsBackward() && op.Kind != graph.KindApplyGradient {
+			params += op.ParamBytes
+		}
+	}
+	// Even DP: every device holds all parameters x (1 + (slots-1)*1 towers).
+	want := params * 3 // VGG uses SGD+momentum: 3 slots
+	for d, got := range dg.PersistentBytes {
+		if got != want {
+			t.Fatalf("device %d persists %d bytes, want %d", d, got, want)
+		}
+	}
+}
+
+func TestMultiIterationChaining(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenPS})
+	dg1, err := CompileIter(g, c, s, cm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg3, err := CompileIter(g, c, s, cm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dg3.Ops) != 3*len(dg1.Ops) {
+		t.Fatalf("3 iterations compile %d ops, want 3x%d", len(dg3.Ops), len(dg1.Ops))
+	}
+	per := len(dg1.Ops)
+	for i, op := range dg3.Ops {
+		if op.Iter != i/per {
+			t.Fatalf("op %d tagged iteration %d, want %d", i, op.Iter, i/per)
+		}
+	}
+	// Persistent parameters are counted once, not per iteration.
+	for d := range dg1.PersistentBytes {
+		if dg1.PersistentBytes[d] != dg3.PersistentBytes[d] {
+			t.Fatal("multi-iteration compile must not multiply persistent memory")
+		}
+	}
+	// Cross-iteration dependencies: some iteration-1 op must consume an
+	// iteration-0 op (the parameter-ready edges).
+	cross := false
+	for _, op := range dg3.Ops {
+		if op.Iter != 1 {
+			continue
+		}
+		for _, in := range op.Inputs {
+			if in.Iter == 0 {
+				cross = true
+			}
+		}
+	}
+	if !cross {
+		t.Fatal("no cross-iteration parameter dependencies found")
+	}
+}
+
+func TestCompileIterErrors(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenPS})
+	if _, err := CompileIter(g, c, s, cm, 0); err == nil {
+		t.Fatal("zero iterations must error")
+	}
+	bad := strategy.Uniform(gr, strategy.Decision{Kind: strategy.MP, Device: 99})
+	if _, err := Compile(g, c, bad, cm); err == nil {
+		t.Fatal("invalid strategy must error")
+	}
+}
+
+func TestSparseEmbeddingPushSmallerThanDense(t *testing.T) {
+	g, err := models.BertLarge(24, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed8()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenPS})
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var embedPush, qPush int64
+	for _, op := range dg.Ops {
+		if strings.Contains(op.Name, "wordEmbedding_gradW_push@") && embedPush == 0 {
+			embedPush = op.OutBytes
+		}
+		if strings.Contains(op.Name, "layer1_q_gradW_push@") && qPush == 0 {
+			qPush = op.OutBytes
+		}
+	}
+	if embedPush == 0 || qPush == 0 {
+		t.Fatal("expected pushes for embedding and dense gradients")
+	}
+	// Dense q gradient (1024x1024 = 4MB) must push in full; the 120MB
+	// embedding pushes only its sparse shard, far below its dense size.
+	if embedPush >= 120<<20/8 {
+		t.Fatalf("embedding push %d bytes, expected a sparse shard", embedPush)
+	}
+}
+
+func TestARUnitsIncludeServersNICs(t *testing.T) {
+	_, dg := compileUniform(t, strategy.DPEvenAR)
+	for _, op := range dg.Ops {
+		if op.Kind != graph.KindAllReduce {
+			continue
+		}
+		// NCCL + 4 servers x (in + out lanes): at least 9 units.
+		if len(op.Units) < 9 {
+			t.Fatalf("collective %s occupies %d units, expected NICs of all servers", op.Name, len(op.Units))
+		}
+		break
+	}
+}
+
+func TestCriticalPathAndWork(t *testing.T) {
+	_, dg := compileUniform(t, strategy.DPEvenAR)
+	cp := dg.CriticalPath()
+	if cp <= 0 {
+		t.Fatal("critical path must be positive")
+	}
+	var maxWork float64
+	for _, w := range dg.TotalWorkOn() {
+		if w > maxWork {
+			maxWork = w
+		}
+	}
+	if maxWork <= 0 {
+		t.Fatal("no unit has work")
+	}
+	var total float64
+	for _, op := range dg.Ops {
+		total += op.Time
+	}
+	if cp > total+1e-9 {
+		t.Fatal("critical path cannot exceed total serial work")
+	}
+}
+
+func TestEffectiveDecisionFollowsForward(t *testing.T) {
+	g, c, cm, gr := setup(t, "vgg19", 64)
+	_ = c
+	_ = cm
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+	// Give the fc6 forward op MP; its backward/apply ops must follow even if
+	// their own groups say otherwise.
+	var fc6 *graph.Op
+	for _, op := range g.Ops {
+		if op.Name == "fc6" {
+			fc6 = op
+		}
+	}
+	s.Decisions[gr.GroupOf[fc6.ID]] = strategy.Decision{Kind: strategy.MP, Device: 1}
+	for _, op := range g.Ops {
+		if op.Forward == fc6 {
+			d := EffectiveDecision(s, op)
+			if d.Kind != strategy.MP || d.Device != 1 {
+				t.Fatalf("%s decision %+v, want forward's MP@1", op.Name, d)
+			}
+		}
+	}
+}

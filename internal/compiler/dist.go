@@ -1,0 +1,297 @@
+// Package compiler implements the Graph Compiler: it applies a Part-I
+// strategy to a single-GPU training graph and produces the distributed
+// execution graph — operation replicas with device placements, Split/Concat
+// glue across differing replica layouts, Send ops on link devices, PS-based
+// gradient aggregation (push, aggregate, apply, pull) and NCCL AllReduce
+// collectives with automatic ring-vs-hierarchical selection.
+package compiler
+
+import (
+	"fmt"
+
+	"heterog/internal/cluster"
+	"heterog/internal/graph"
+)
+
+// UnitKind classifies execution units. GPUs execute computation ops.
+// Communication ops run on the network resources they occupy: each server
+// contributes a NIC-ingress, a NIC-egress and a PCIe-bus unit, so transfers
+// into one server serialize on its NIC (the paper's "links to parameter
+// servers may become the bottlenecks") while different server pairs
+// communicate concurrently. The single NCCL unit serializes AllReduce
+// collectives (the paper's "AllReduce for different operations cannot be
+// launched simultaneously" NCCL limitation).
+type UnitKind int
+
+const (
+	UnitGPU UnitKind = iota
+	UnitComm
+	UnitNCCL
+)
+
+// commUnitCount returns how many comm units a server contributes:
+// NICLanes ingress lanes, NICLanes egress lanes, and one PCIe bus.
+func commUnitCount(lanes int) int {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return 2*lanes + 1
+}
+
+// DistOp is one node of the distributed execution graph.
+type DistOp struct {
+	ID   int
+	Name string
+	Kind graph.OpKind
+	// Src is the originating logical op; nil for compiler-synthesized glue.
+	Src *graph.Op
+	// Units are the execution unit indexes this op occupies for its whole
+	// duration: a GPU for computation, one or more communication resources
+	// for transfers and collectives. An op starts only when all its units
+	// are free.
+	Units []int
+	// Time is the precomputed execution/transfer duration in seconds.
+	Time float64
+	// OutBytes is the output buffer size allocated on MemDevice.
+	OutBytes int64
+	// MemDevice is the GPU whose memory holds the output (-1 for none).
+	MemDevice int
+	// Inputs are producer DistOps.
+	Inputs []*DistOp
+	// Iter is the training-iteration index this op belongs to when several
+	// iterations are compiled together (see CompileIter).
+	Iter int
+}
+
+// DistGraph is the compiled distributed training graph.
+type DistGraph struct {
+	Source  *graph.Graph
+	Cluster *cluster.Cluster
+	// Iterations is how many chained training iterations were compiled.
+	Iterations int
+	Ops        []*DistOp
+	// PersistentBytes[d] is per-GPU resident memory: parameters, gradients
+	// and optimizer state for every op instance placed on device d.
+	PersistentBytes []int64
+
+	// laneRR round-robins NIC lane assignment per (server, direction).
+	laneRR map[[2]int]int
+}
+
+// NumUnits returns GPUs + comm units over all servers + the NCCL unit.
+func (dg *DistGraph) NumUnits() int {
+	n := dg.Cluster.NumDevices()
+	for _, srv := range dg.Cluster.Servers {
+		n += commUnitCount(srv.NICLanes)
+	}
+	return n + 1
+}
+
+// UnitKindOf classifies a unit index.
+func (dg *DistGraph) UnitKindOf(unit int) UnitKind {
+	switch {
+	case unit < dg.Cluster.NumDevices():
+		return UnitGPU
+	case unit == dg.NumUnits()-1:
+		return UnitNCCL
+	default:
+		return UnitComm
+	}
+}
+
+// commBase returns the first comm-unit index of a server. Layout per server:
+// NICLanes ingress lanes, NICLanes egress lanes, one PCIe bus.
+func (dg *DistGraph) commBase(server int) int {
+	u := dg.Cluster.NumDevices()
+	for s := 0; s < server; s++ {
+		u += commUnitCount(dg.Cluster.Servers[s].NICLanes)
+	}
+	return u
+}
+
+func (dg *DistGraph) serverLanes(server int) int {
+	l := dg.Cluster.Servers[server].NICLanes
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// nicInUnit and nicOutUnit return one lane of a server's NIC; successive
+// transfers round-robin over lanes so a 100GbE card absorbs two concurrent
+// 50GbE-limited flows.
+func (dg *DistGraph) nicInUnit(server, lane int) int {
+	return dg.commBase(server) + lane%dg.serverLanes(server)
+}
+func (dg *DistGraph) nicOutUnit(server, lane int) int {
+	return dg.commBase(server) + dg.serverLanes(server) + lane%dg.serverLanes(server)
+}
+func (dg *DistGraph) pcieUnit(server int) int {
+	return dg.commBase(server) + 2*dg.serverLanes(server)
+}
+
+// ncclUnit returns the NCCL serialization unit index.
+func (dg *DistGraph) ncclUnit() int {
+	return dg.NumUnits() - 1
+}
+
+// CommUnitsBetween returns the comm units a transfer from srcDev to dstDev
+// occupies: the shared PCIe bus within one server, or one source egress NIC
+// lane plus one destination ingress NIC lane across servers (round-robin
+// lane selection per server).
+func (dg *DistGraph) CommUnitsBetween(srcDev, dstDev int) []int {
+	ss := dg.Cluster.Devices[srcDev].Server
+	ds := dg.Cluster.Devices[dstDev].Server
+	if ss == ds {
+		return []int{dg.pcieUnit(ss)}
+	}
+	if dg.laneRR == nil {
+		dg.laneRR = make(map[[2]int]int)
+	}
+	outLane := dg.laneRR[[2]int{ss, 0}]
+	dg.laneRR[[2]int{ss, 0}]++
+	inLane := dg.laneRR[[2]int{ds, 1}]
+	dg.laneRR[[2]int{ds, 1}]++
+	return []int{dg.nicOutUnit(ss, outLane), dg.nicInUnit(ds, inLane)}
+}
+
+// Validate checks the distributed graph for structural soundness. Dist op
+// IDs must be dense (op i has ID i): the scheduler and simulator index
+// per-op state by ID.
+func (dg *DistGraph) Validate() error {
+	seen := make(map[int]bool, len(dg.Ops))
+	for i, op := range dg.Ops {
+		if op.ID != i {
+			return fmt.Errorf("dist op %q has ID %d at index %d (IDs must be dense)", op.Name, op.ID, i)
+		}
+		seen[op.ID] = true
+		if len(op.Units) == 0 {
+			return fmt.Errorf("op %q occupies no units", op.Name)
+		}
+		for _, u := range op.Units {
+			if u < 0 || u >= dg.NumUnits() {
+				return fmt.Errorf("op %q: unit %d out of range", op.Name, u)
+			}
+			isComm := op.Kind.IsComm()
+			if isComm && dg.UnitKindOf(u) == UnitGPU {
+				return fmt.Errorf("comm op %q occupies GPU unit %d", op.Name, u)
+			}
+			if !isComm && dg.UnitKindOf(u) != UnitGPU {
+				return fmt.Errorf("compute op %q occupies non-GPU unit %d", op.Name, u)
+			}
+		}
+		if op.Time < 0 {
+			return fmt.Errorf("op %q: negative time", op.Name)
+		}
+	}
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			if !seen[in.ID] {
+				return fmt.Errorf("op %q references foreign input %q", op.Name, in.Name)
+			}
+		}
+	}
+	// Acyclicity via Kahn count.
+	indeg := make(map[int]int, len(dg.Ops))
+	succ := make(map[int][]*DistOp, len(dg.Ops))
+	for _, op := range dg.Ops {
+		indeg[op.ID] = len(op.Inputs)
+		for _, in := range op.Inputs {
+			succ[in.ID] = append(succ[in.ID], op)
+		}
+	}
+	queue := make([]*DistOp, 0, len(dg.Ops))
+	for _, op := range dg.Ops {
+		if indeg[op.ID] == 0 {
+			queue = append(queue, op)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		op := queue[0]
+		queue = queue[1:]
+		done++
+		for _, s := range succ[op.ID] {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if done != len(dg.Ops) {
+		return fmt.Errorf("distributed graph contains a cycle (%d/%d ordered)", done, len(dg.Ops))
+	}
+	return nil
+}
+
+// Successors builds the successor lists indexed by dense dist-op ID.
+func (dg *DistGraph) Successors() [][]*DistOp {
+	succ := make([][]*DistOp, len(dg.Ops))
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			succ[in.ID] = append(succ[in.ID], op)
+		}
+	}
+	return succ
+}
+
+// TopoOrder returns dist ops in dependency order.
+func (dg *DistGraph) TopoOrder() []*DistOp {
+	indeg := make([]int, len(dg.Ops))
+	succ := dg.Successors()
+	for _, op := range dg.Ops {
+		indeg[op.ID] = len(op.Inputs)
+	}
+	queue := make([]*DistOp, 0, len(dg.Ops))
+	for _, op := range dg.Ops {
+		if indeg[op.ID] == 0 {
+			queue = append(queue, op)
+		}
+	}
+	order := make([]*DistOp, 0, len(dg.Ops))
+	for len(queue) > 0 {
+		op := queue[0]
+		queue = queue[1:]
+		order = append(order, op)
+		for _, s := range succ[op.ID] {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}
+
+// CriticalPath returns the longest chain of op durations through the graph —
+// a lower bound on any schedule's makespan.
+func (dg *DistGraph) CriticalPath() float64 {
+	longest := make([]float64, len(dg.Ops))
+	var best float64
+	for _, op := range dg.TopoOrder() {
+		start := 0.0
+		for _, in := range op.Inputs {
+			if longest[in.ID] > start {
+				start = longest[in.ID]
+			}
+		}
+		end := start + op.Time
+		longest[op.ID] = end
+		if end > best {
+			best = end
+		}
+	}
+	return best
+}
+
+// TotalWorkOn sums op durations per unit (a multi-unit op contributes its
+// full duration to every unit it occupies).
+func (dg *DistGraph) TotalWorkOn() []float64 {
+	work := make([]float64, dg.NumUnits())
+	for _, op := range dg.Ops {
+		for _, u := range op.Units {
+			work[u] += op.Time
+		}
+	}
+	return work
+}

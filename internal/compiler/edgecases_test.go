@@ -1,0 +1,221 @@
+package compiler
+
+import (
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/graph"
+	"heterog/internal/profile"
+	"heterog/internal/strategy"
+)
+
+// broadcastGraph has a non-batch-dim producer (a weight-like table) feeding a
+// batched consumer — exercising the broadcast path in connect().
+func broadcastGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("broadcast", 32)
+	table := g.AddOp("table", graph.KindEmbeddingLookup)
+	table.OutputBytes = 8 << 20
+	table.BatchDim = false
+	table.FLOPs = 1e6
+	user := g.AddOp("user", graph.KindMatMul, table)
+	user.OutputBytes = 4 << 20
+	user.BatchDim = true
+	user.FLOPs = 1e9
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBroadcastNonBatchProducer(t *testing.T) {
+	g := broadcastGraph(t)
+	c := cluster.Testbed4()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{
+		{Kind: strategy.MP, Device: 0}, // producer on device 0
+		{Kind: strategy.DPEvenAR},      // consumer replicated everywhere
+	}}
+	// Align decisions to the right groups (grouping may reorder).
+	for gi, anchor := range gr.Anchors {
+		if g.Ops[anchor].Name == "table" {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: 0}
+		} else {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.DPEvenAR}
+		}
+	}
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One broadcast send per consumer device lacking a local copy (3 of 4).
+	sends := 0
+	for _, op := range dg.Ops {
+		if op.Kind == graph.KindSend {
+			sends++
+			if op.OutBytes != 8<<20 {
+				t.Fatalf("broadcast must ship the full tensor, got %d bytes", op.OutBytes)
+			}
+		}
+	}
+	if sends != 3 {
+		t.Fatalf("%d broadcast sends, want 3", sends)
+	}
+}
+
+func TestControlDependenciesSurviveCompilation(t *testing.T) {
+	g := graph.New("ctrl", 16)
+	a := g.AddOp("a", graph.KindMatMul)
+	a.OutputBytes = 1 << 20
+	a.BatchDim = true
+	a.FLOPs = 1e8
+	b := g.AddOp("b", graph.KindMatMul)
+	b.OutputBytes = 1 << 20
+	b.BatchDim = true
+	b.FLOPs = 1e8
+	b.ControlDeps = append(b.ControlDeps, a)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed4()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each replica of b must depend on a replica of a.
+	gated := 0
+	for _, op := range dg.Ops {
+		if op.Src == b {
+			for _, in := range op.Inputs {
+				if in.Src == a {
+					gated++
+				}
+			}
+		}
+	}
+	if gated != 4 {
+		t.Fatalf("%d control-gated replicas, want 4", gated)
+	}
+}
+
+func TestUnitLayout(t *testing.T) {
+	c := cluster.Testbed8()
+	dg := &DistGraph{Source: graph.New("x", 1), Cluster: c, PersistentBytes: make([]int64, 8)}
+	// 8 GPUs + server0 (2 lanes: 2 in + 2 out + pcie = 5) + 3 servers x
+	// (1+1+1) + NCCL = 8 + 5 + 9 + 1 = 23.
+	if got := dg.NumUnits(); got != 23 {
+		t.Fatalf("NumUnits %d, want 23", got)
+	}
+	if dg.UnitKindOf(0) != UnitGPU || dg.UnitKindOf(7) != UnitGPU {
+		t.Fatal("GPU units misclassified")
+	}
+	if dg.UnitKindOf(8) != UnitComm {
+		t.Fatal("comm units misclassified")
+	}
+	if dg.UnitKindOf(dg.NumUnits()-1) != UnitNCCL {
+		t.Fatal("NCCL unit misclassified")
+	}
+	// Intra-server transfers ride the PCIe bus; cross-server ones take one
+	// egress lane and one ingress lane.
+	intra := dg.CommUnitsBetween(0, 1)
+	if len(intra) != 1 || dg.UnitKindOf(intra[0]) != UnitComm {
+		t.Fatalf("intra-server units %v", intra)
+	}
+	cross := dg.CommUnitsBetween(0, 2)
+	if len(cross) != 2 {
+		t.Fatalf("cross-server units %v", cross)
+	}
+	if cross[0] == cross[1] {
+		t.Fatal("cross-server transfer must hold two distinct units")
+	}
+}
+
+func TestNICLaneRoundRobin(t *testing.T) {
+	c := cluster.Testbed8()
+	dg := &DistGraph{Source: graph.New("x", 1), Cluster: c, PersistentBytes: make([]int64, 8)}
+	// Server 0 has two ingress lanes: consecutive inbound transfers must
+	// alternate between them.
+	a := dg.CommUnitsBetween(2, 0)[1]
+	b := dg.CommUnitsBetween(2, 0)[1]
+	if a == b {
+		t.Fatal("100GbE ingress lanes must round-robin")
+	}
+	c2 := dg.CommUnitsBetween(2, 0)[1]
+	if c2 != a {
+		t.Fatal("lane rotation must cycle with period 2")
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	c := cluster.Testbed4()
+	mk := func() *DistGraph {
+		return &DistGraph{Source: graph.New("x", 1), Cluster: c, PersistentBytes: make([]int64, 4)}
+	}
+	// Non-dense IDs.
+	dg := mk()
+	dg.Ops = append(dg.Ops, &DistOp{ID: 5, Units: []int{0}, Kind: graph.KindMatMul})
+	if err := dg.Validate(); err == nil {
+		t.Fatal("non-dense IDs must fail")
+	}
+	// No units.
+	dg = mk()
+	dg.Ops = append(dg.Ops, &DistOp{ID: 0, Kind: graph.KindMatMul})
+	if err := dg.Validate(); err == nil {
+		t.Fatal("unit-less op must fail")
+	}
+	// Compute op on comm unit.
+	dg = mk()
+	dg.Ops = append(dg.Ops, &DistOp{ID: 0, Kind: graph.KindMatMul, Units: []int{4}})
+	if err := dg.Validate(); err == nil {
+		t.Fatal("compute op on a comm unit must fail")
+	}
+	// Comm op on GPU.
+	dg = mk()
+	dg.Ops = append(dg.Ops, &DistOp{ID: 0, Kind: graph.KindSend, Units: []int{0}})
+	if err := dg.Validate(); err == nil {
+		t.Fatal("comm op on a GPU must fail")
+	}
+	// Negative time.
+	dg = mk()
+	dg.Ops = append(dg.Ops, &DistOp{ID: 0, Kind: graph.KindMatMul, Units: []int{0}, Time: -1})
+	if err := dg.Validate(); err == nil {
+		t.Fatal("negative duration must fail")
+	}
+	// Cycle.
+	dg = mk()
+	x := &DistOp{ID: 0, Kind: graph.KindMatMul, Units: []int{0}}
+	y := &DistOp{ID: 1, Kind: graph.KindMatMul, Units: []int{0}, Inputs: []*DistOp{x}}
+	x.Inputs = []*DistOp{y}
+	dg.Ops = append(dg.Ops, x, y)
+	if err := dg.Validate(); err == nil {
+		t.Fatal("cyclic dist graph must fail")
+	}
+}
+
+func TestFusionDiscountTable(t *testing.T) {
+	if FusionDiscount(graph.KindBatchNorm) <= FusionDiscount(graph.KindActivation) {
+		t.Fatal("batch norm folds more aggressively than activations")
+	}
+	if FusionDiscount(graph.KindConv2D) != 1 {
+		t.Fatal("conv outputs are retained in full")
+	}
+}

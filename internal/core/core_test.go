@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/models"
+	"heterog/internal/strategy"
+)
+
+func evaluatorFor(t *testing.T, key string, batch, gpus int) *Evaluator {
+	t.Helper()
+	g, err := models.Build(key, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c *cluster.Cluster
+	switch gpus {
+	case 4:
+		c = cluster.Testbed4()
+	default:
+		c = cluster.Testbed8()
+	}
+	ev, err := NewEvaluator(g, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func uniform(t *testing.T, ev *Evaluator, kind strategy.DecisionKind) *strategy.Strategy {
+	t.Helper()
+	gr, err := strategy.Group(ev.Graph, ev.Cost, ev.Graph.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strategy.Uniform(gr, strategy.Decision{Kind: kind})
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	e, err := ev.Evaluate(uniform(t, ev, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PerIter <= 0 {
+		t.Fatal("per-iteration time must be positive")
+	}
+	if e.PerIter > e.Result.Makespan {
+		t.Fatal("steady-state period cannot exceed the total makespan")
+	}
+	if e.Dist.Iterations != 3 {
+		t.Fatalf("default iterations %d, want 3", e.Dist.Iterations)
+	}
+	// The steady-state period must cover the busiest GPU's per-iteration
+	// work (compute cannot overlap with itself on one device).
+	if e.PerIter < e.ComputeTime*0.95 {
+		t.Fatalf("per-iter %.4f below busiest-GPU compute %.4f", e.PerIter, e.ComputeTime)
+	}
+}
+
+func TestPerIterationStableAcrossIterationCounts(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	s := uniform(t, ev, strategy.DPPropAR)
+	ev.Iterations = 3
+	e3, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Iterations = 5
+	e5, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e3.PerIter-e5.PerIter)/e3.PerIter > 0.1 {
+		t.Fatalf("steady-state estimate unstable: 3 iters %.4f vs 5 iters %.4f", e3.PerIter, e5.PerIter)
+	}
+}
+
+func TestRewardFormula(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	e, err := ev.Evaluate(uniform(t, ev, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Sqrt(e.PerIter)
+	if got := Reward(e); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("reward %v, want %v", got, want)
+	}
+}
+
+func TestOOMRewardPenaltyAndInfTime(t *testing.T) {
+	// BERT-48 at batch 24 on the 8-GPU testbed OOMs under pure DP.
+	ev := evaluatorFor(t, "bert48", 24, 8)
+	e, err := ev.Evaluate(uniform(t, ev, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Result.OOM() {
+		t.Fatal("expected OOM")
+	}
+	if !math.IsInf(e.Time(), 1) {
+		t.Fatal("OOM evaluation must report +Inf time")
+	}
+	if Reward(e) > -10*math.Sqrt(e.PerIter)+1e-9 {
+		t.Fatal("OOM reward must carry the x10 penalty")
+	}
+}
+
+func TestFIFOVsRankedBothValid(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	s := uniform(t, ev, strategy.DPEvenPS)
+	ranked, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := *ev
+	fifo.UseFIFO = true
+	ef, err := fifo.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked.PerIter <= 0 || ef.PerIter <= 0 {
+		t.Fatal("both orders must produce positive periods")
+	}
+}
+
+func TestStrategyStatsSumToOne(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	s := uniform(t, ev, strategy.DPPropPS)
+	// Mix in some MP.
+	for gi := 0; gi < 5; gi++ {
+		s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: gi % 4}
+	}
+	e, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.StrategyStats()
+	var total float64
+	for _, v := range st.MPShare {
+		total += v
+	}
+	for _, v := range st.DPShare {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("strategy stats sum to %v", total)
+	}
+}
+
+func TestEvaluateDeterministicPerSeed(t *testing.T) {
+	a := evaluatorFor(t, "mobilenet_v2", 48, 4)
+	b := evaluatorFor(t, "mobilenet_v2", 48, 4)
+	ea, err := a.Evaluate(uniform(t, a, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Evaluate(uniform(t, b, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.PerIter != eb.PerIter {
+		t.Fatal("same seed and strategy must reproduce identical timings")
+	}
+}

@@ -1,0 +1,165 @@
+// Package core ties the strategy framework together: it evaluates a complete
+// Part-I strategy by compiling the distributed graph, computing the Part-II
+// execution order, and simulating one training iteration. Both the RL agent
+// (reward signal) and the experiment harness (reported numbers) go through
+// this evaluator, exactly as the paper's Strategy Maker couples its Agent,
+// Scheduler and Simulator.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+	"heterog/internal/profile"
+	"heterog/internal/sched"
+	"heterog/internal/sim"
+	"heterog/internal/strategy"
+)
+
+// Evaluation is the outcome of simulating one strategy.
+type Evaluation struct {
+	Strategy *strategy.Strategy
+	Dist     *compiler.DistGraph
+	Result   *sim.Result
+	// PerIter is the steady-state per-iteration time: when several chained
+	// iterations were compiled, the finish-to-finish gap of the last two;
+	// otherwise the full makespan.
+	PerIter float64
+	// ComputeTime and CommTime are the per-iteration busiest-GPU and
+	// busiest-comm-unit occupancies (Fig 8's breakdown).
+	ComputeTime, CommTime float64
+}
+
+// Time returns the per-iteration time, or +Inf on OOM so that comparisons
+// naturally prefer feasible strategies.
+func (e *Evaluation) Time() float64 {
+	if e.Result.OOM() {
+		return math.Inf(1)
+	}
+	return e.PerIter
+}
+
+// perIteration extracts the steady-state per-iteration time from a chained
+// multi-iteration simulation. Each compiled iteration contains the same op
+// sequence, so in steady state every op repeats with the iteration period;
+// the median start-to-start shift between corresponding ops of the last two
+// iterations is a robust estimate even when a few low-priority stragglers
+// slide across iteration boundaries.
+func perIteration(dg *compiler.DistGraph, res *sim.Result) float64 {
+	iters := dg.Iterations
+	if iters <= 1 {
+		return res.Makespan
+	}
+	per := len(dg.Ops) / iters
+	aligned := len(dg.Ops)%iters == 0
+	if aligned {
+		for i, op := range dg.Ops {
+			if op.Iter != i/per {
+				aligned = false
+				break
+			}
+		}
+	}
+	if !aligned {
+		// Fallback: amortized makespan (upper-bounds the period by the
+		// pipeline fill/drain shares).
+		return res.Makespan / float64(iters)
+	}
+	k := iters - 2
+	diffs := make([]float64, per)
+	for j := 0; j < per; j++ {
+		diffs[j] = res.Starts[(k+1)*per+j] - res.Starts[k*per+j]
+	}
+	sort.Float64s(diffs)
+	return diffs[per/2]
+}
+
+// Evaluator evaluates strategies for one (graph, cluster, cost model) triple.
+type Evaluator struct {
+	Graph   *graph.Graph
+	Cluster *cluster.Cluster
+	Cost    *profile.CostModel
+	// UseFIFO disables HeteroG's order scheduling and falls back to
+	// TensorFlow's default FIFO execution (Table 7's ablation).
+	UseFIFO bool
+	// Iterations is the number of chained training iterations to simulate
+	// for steady-state measurement; 0 selects the default of 3.
+	Iterations int
+	// Ablate disables individual compiler mechanisms (ablation studies).
+	Ablate compiler.Ablations
+}
+
+// NewEvaluator profiles the graph on the cluster and returns an evaluator.
+func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, error) {
+	cm, err := profile.Profile(g, c, profile.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", g.Name, err)
+	}
+	return &Evaluator{Graph: g, Cluster: c, Cost: cm}, nil
+}
+
+// Evaluate compiles, orders and simulates one strategy.
+func (ev *Evaluator) Evaluate(s *strategy.Strategy) (*Evaluation, error) {
+	iters := ev.Iterations
+	if iters <= 0 {
+		iters = 3
+	}
+	dg, err := compiler.CompileAblated(ev.Graph, ev.Cluster, s, ev.Cost, iters, ev.Ablate)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", ev.Graph.Name, err)
+	}
+	var pr []float64
+	if ev.UseFIFO {
+		pr = sched.FIFO(dg)
+	} else {
+		pr = sched.Ranks(dg)
+	}
+	res, err := sim.Run(dg, pr)
+	if err != nil {
+		return nil, fmt.Errorf("simulate %s: %w", ev.Graph.Name, err)
+	}
+	return &Evaluation{
+		Strategy:    s,
+		Dist:        dg,
+		Result:      res,
+		PerIter:     perIteration(dg, res),
+		ComputeTime: res.ComputeTime / float64(iters),
+		CommTime:    res.CommTime / float64(iters),
+	}, nil
+}
+
+// StrategyStats tallies the fraction of the source graph's operations under
+// each decision, resolving backward and apply ops to their forward op's
+// group decision — the accounting behind Tables 2 and 3.
+func (e *Evaluation) StrategyStats() strategy.Stats {
+	g := e.Dist.Source
+	m := e.Dist.Cluster.NumDevices()
+	st := strategy.Stats{
+		MPShare: make([]float64, m),
+		DPShare: map[strategy.DecisionKind]float64{strategy.DPEvenPS: 0, strategy.DPEvenAR: 0, strategy.DPPropPS: 0, strategy.DPPropAR: 0},
+	}
+	n := float64(g.NumOps())
+	for _, op := range g.Ops {
+		d := compiler.EffectiveDecision(e.Strategy, op)
+		if d.Kind == strategy.MP {
+			st.MPShare[d.Device] += 1 / n
+		} else {
+			st.DPShare[d.Kind] += 1 / n
+		}
+	}
+	return st
+}
+
+// Reward converts an evaluation into the paper's RL reward: R = -sqrt(T),
+// multiplied by 10 when the strategy overflows device memory.
+func Reward(e *Evaluation) float64 {
+	r := -math.Sqrt(e.PerIter)
+	if e.Result.OOM() {
+		r *= 10
+	}
+	return r
+}

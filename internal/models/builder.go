@@ -1,0 +1,269 @@
+// Package models is the benchmark-model zoo: analytic builders for the eight
+// DNNs the paper evaluates (VGG-19, ResNet200, Inception-v3, MobileNet-v2,
+// NasNet, Transformer, BERT-large, XLNet-large). Each builder produces a
+// single-GPU training Graph with per-op FLOPs, parameter bytes and activation
+// bytes computed from the layer dimensions, standing in for the TensorFlow
+// graphdef the paper's Graph Analyzer extracts.
+package models
+
+import (
+	"fmt"
+
+	"heterog/internal/graph"
+)
+
+// bytesPerElem is the tensor element width (float32 everywhere).
+const bytesPerElem = 4
+
+// builder accumulates a forward graph and enough bookkeeping to mechanically
+// derive the backward pass and parameter-update ops.
+type builder struct {
+	g     *graph.Graph
+	batch int
+	layer int
+}
+
+func newBuilder(name string, batch int) *builder {
+	return &builder{g: graph.New(name, batch), batch: batch}
+}
+
+// nextLayer advances the layer counter used for grouping diagnostics.
+func (b *builder) nextLayer() int {
+	b.layer++
+	return b.layer
+}
+
+// addFwd appends a forward op with explicit cost attributes.
+func (b *builder) addFwd(name string, kind graph.OpKind, flops float64, paramBytes, outputBytes int64, inputs ...*graph.Op) *graph.Op {
+	op := b.g.AddOp(name, kind, inputs...)
+	op.FLOPs = flops
+	op.ParamBytes = paramBytes
+	op.OutputBytes = outputBytes
+	op.BatchDim = true
+	op.Layer = b.layer
+	return op
+}
+
+// input creates the data-input op producing a batch of samples.
+func (b *builder) input(elemsPerSample int64) *graph.Op {
+	op := b.addFwd("input", graph.KindNoOp, 0, 0, int64(b.batch)*elemsPerSample*bytesPerElem)
+	return op
+}
+
+// conv2d appends a 2-D convolution. h,w are output spatial dims.
+func (b *builder) conv2d(name string, in *graph.Op, h, w, cin, cout, k int) *graph.Op {
+	flops := 2 * float64(b.batch) * float64(h*w) * float64(cin*cout) * float64(k*k)
+	params := int64(k*k*cin*cout+cout) * bytesPerElem
+	out := int64(b.batch*h*w*cout) * bytesPerElem
+	return b.addFwd(name, graph.KindConv2D, flops, params, out, in)
+}
+
+// depthwiseConv2d appends a depthwise convolution (MobileNet-style).
+func (b *builder) depthwiseConv2d(name string, in *graph.Op, h, w, c, k int) *graph.Op {
+	flops := 2 * float64(b.batch) * float64(h*w) * float64(c) * float64(k*k)
+	params := int64(k*k*c+c) * bytesPerElem
+	out := int64(b.batch*h*w*c) * bytesPerElem
+	return b.addFwd(name, graph.KindDepthwiseConv, flops, params, out, in)
+}
+
+// pool appends a pooling op with output h x w x c.
+func (b *builder) pool(name string, in *graph.Op, h, w, c int) *graph.Op {
+	out := int64(b.batch*h*w*c) * bytesPerElem
+	flops := float64(out) / bytesPerElem * 9 // 3x3 window comparison cost
+	return b.addFwd(name, graph.KindPool, flops, 0, out, in)
+}
+
+// batchNorm appends batch normalisation over c channels at h x w.
+func (b *builder) batchNorm(name string, in *graph.Op, h, w, c int) *graph.Op {
+	elems := int64(b.batch * h * w * c)
+	return b.addFwd(name, graph.KindBatchNorm, float64(elems)*4, int64(2*c)*bytesPerElem, elems*bytesPerElem, in)
+}
+
+// activation appends an elementwise non-linearity preserving input size.
+func (b *builder) activation(name string, in *graph.Op) *graph.Op {
+	return b.addFwd(name, graph.KindActivation, float64(in.OutputBytes)/bytesPerElem, 0, in.OutputBytes, in)
+}
+
+// add appends an elementwise residual addition of two tensors.
+func (b *builder) add(name string, x, y *graph.Op) *graph.Op {
+	return b.addFwd(name, graph.KindElementwise, float64(x.OutputBytes)/bytesPerElem, 0, x.OutputBytes, x, y)
+}
+
+// concat appends a channel concat (forward graph concat, not the compiler's
+// replica concat).
+func (b *builder) concatChannels(name string, ins ...*graph.Op) *graph.Op {
+	var out int64
+	for _, in := range ins {
+		out += in.OutputBytes
+	}
+	return b.addFwd(name, graph.KindElementwise, float64(out)/bytesPerElem, 0, out, ins...)
+}
+
+// matmul appends a dense layer: [batch*rows, cin] x [cin, cout].
+func (b *builder) matmul(name string, in *graph.Op, rows, cin, cout int) *graph.Op {
+	flops := 2 * float64(b.batch) * float64(rows) * float64(cin) * float64(cout)
+	params := int64(cin*cout+cout) * bytesPerElem
+	out := int64(b.batch*rows*cout) * bytesPerElem
+	return b.addFwd(name, graph.KindMatMul, flops, params, out, in)
+}
+
+// tiedMatmul appends a dense projection whose weights are tied to an
+// embedding table (the standard tied input/output embedding): it costs the
+// same compute but owns no parameters of its own.
+func (b *builder) tiedMatmul(name string, in *graph.Op, rows, cin, cout int) *graph.Op {
+	flops := 2 * float64(b.batch) * float64(rows) * float64(cin) * float64(cout)
+	out := int64(b.batch*rows*cout) * bytesPerElem
+	return b.addFwd(name, graph.KindMatMul, flops, 0, out, in)
+}
+
+// matmulNoParam appends a batched matmul with no trainable parameters
+// (e.g. attention score x value products).
+func (b *builder) matmulNoParam(name string, flops float64, outBytes int64, ins ...*graph.Op) *graph.Op {
+	return b.addFwd(name, graph.KindAttention, flops, 0, outBytes, ins...)
+}
+
+// layerNorm appends layer normalisation over dim features at rows positions.
+func (b *builder) layerNorm(name string, in *graph.Op, rows, dim int) *graph.Op {
+	elems := int64(b.batch * rows * dim)
+	return b.addFwd(name, graph.KindLayerNorm, float64(elems)*6, int64(2*dim)*bytesPerElem, elems*bytesPerElem, in)
+}
+
+// embedding appends an embedding lookup: vocab x dim table, rows tokens.
+func (b *builder) embedding(name string, in *graph.Op, rows, vocab, dim int) *graph.Op {
+	params := int64(vocab*dim) * bytesPerElem
+	out := int64(b.batch*rows*dim) * bytesPerElem
+	return b.addFwd(name, graph.KindEmbeddingLookup, float64(out)/bytesPerElem, params, out, in)
+}
+
+// softmaxLoss terminates the forward graph with a softmax + loss op.
+func (b *builder) softmaxLoss(name string, in *graph.Op, classes int) *graph.Op {
+	flops := 5 * float64(b.batch) * float64(classes)
+	return b.addFwd(name, graph.KindLoss, flops, 0, int64(b.batch)*bytesPerElem, in)
+}
+
+// bpKind maps a forward op kind to its primary backward kind.
+func bpKind(k graph.OpKind) graph.OpKind {
+	switch k {
+	case graph.KindConv2D:
+		return graph.KindConv2DBpInput
+	case graph.KindConv1D:
+		return graph.KindConv1DBp
+	case graph.KindMatMul:
+		return graph.KindMatMulBp
+	case graph.KindDepthwiseConv:
+		return graph.KindDepthwiseConvBp
+	case graph.KindPool:
+		return graph.KindPoolBp
+	case graph.KindBatchNorm:
+		return graph.KindBatchNormBp
+	case graph.KindLayerNorm:
+		return graph.KindLayerNormBp
+	case graph.KindActivation:
+		return graph.KindActivationBp
+	case graph.KindSoftmax, graph.KindLoss:
+		return graph.KindSoftmaxBp
+	case graph.KindEmbeddingLookup:
+		return graph.KindEmbeddingBp
+	case graph.KindAttention:
+		return graph.KindAttentionBp
+	case graph.KindElementwise:
+		return graph.KindElementwiseBp
+	default:
+		return graph.KindElementwiseBp
+	}
+}
+
+// finishTraining mechanically derives the backward pass and ApplyGradient ops
+// from the forward graph built so far, returning the completed training graph.
+//
+// For every forward op f (in reverse topological order) it creates:
+//   - a grad-input op consuming the grad ops of f's consumers plus f itself
+//     (activations are needed to compute gradients), and
+//   - for parameterized f, an additional grad-param op (Conv2DBpFilter /
+//     weight-gradient) feeding an ApplyGradient op. Under data parallelism the
+//     compiler later interposes gradient aggregation between the two.
+func (b *builder) finishTraining() (*graph.Graph, error) {
+	order, err := b.g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	succ := b.g.Successors()
+	gradOf := make(map[int]*graph.Op, len(order))
+	fwdCount := len(order)
+	for i := fwdCount - 1; i >= 0; i-- {
+		f := order[i]
+		if f.Kind == graph.KindNoOp { // input op: no gradient needed
+			continue
+		}
+		inputs := []*graph.Op{f}
+		for _, s := range succ[f.ID] {
+			if gop := gradOf[s.ID]; gop != nil {
+				inputs = append(inputs, gop)
+			}
+		}
+		// Grad w.r.t. input: dominant backward cost. Pruned (as TF prunes it)
+		// when no upstream op needs the gradient, i.e. the op reads only the
+		// data input.
+		needsInputGrad := false
+		for _, in := range f.Inputs {
+			if in.Kind != graph.KindNoOp {
+				needsInputGrad = true
+				break
+			}
+		}
+		if needsInputGrad {
+			gi := b.g.AddOp(f.Name+"_grad", bpKind(f.Kind), inputs...)
+			gi.FLOPs = f.FLOPs // same shape of work as forward
+			gi.OutputBytes = inputBytes(f)
+			if f.Kind == graph.KindElementwise || f.Kind == graph.KindActivation {
+				// Elementwise/activation gradients are a single output-shaped
+				// tensor (broadcast to all branches), not one per input.
+				gi.OutputBytes = f.OutputBytes
+			}
+			gi.BatchDim = true
+			gi.Layer = f.Layer
+			gi.Forward = f
+			gradOf[f.ID] = gi
+		}
+		if f.ParamBytes > 0 {
+			kind := graph.KindMatMulBp
+			if f.Kind == graph.KindConv2D {
+				kind = graph.KindConv2DBpFilter
+			}
+			gw := b.g.AddOp(f.Name+"_gradW", kind, inputs...)
+			gw.FLOPs = f.FLOPs
+			gw.OutputBytes = f.ParamBytes // gradient has parameter shape
+			gw.ParamBytes = f.ParamBytes  // marks the aggregation volume
+			gw.BatchDim = false           // param grads carry no batch dim
+			gw.Layer = f.Layer
+			gw.Forward = f
+			if f.Kind == graph.KindEmbeddingLookup && f.OutputBytes < f.ParamBytes {
+				// Embedding gradients are sparse: only the looked-up rows,
+				// i.e. exactly the lookup's output volume.
+				gw.SparseGradBytes = f.OutputBytes
+			}
+			apply := b.g.AddOp(f.Name+"_apply", graph.KindApplyGradient, gw)
+			apply.FLOPs = float64(f.ParamBytes) / bytesPerElem * 2
+			apply.OutputBytes = f.ParamBytes
+			apply.BatchDim = false
+			apply.Layer = f.Layer
+			apply.Forward = f
+		}
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("builder %q produced invalid graph: %w", b.g.Name, err)
+	}
+	return b.g, nil
+}
+
+// inputBytes sums the byte sizes of an op's tensor inputs.
+func inputBytes(op *graph.Op) int64 {
+	var n int64
+	for _, in := range op.Inputs {
+		n += in.OutputBytes
+	}
+	if n == 0 {
+		n = op.OutputBytes
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package models
+
+import (
+	"fmt"
+
+	"heterog/internal/graph"
+)
+
+// VGG19 builds the VGG-19 training graph at the given global batch size:
+// 16 conv layers in 5 stages plus 3 fully connected layers, 224x224x3 input.
+// The final FC layers carry ~120M parameters — the ops HeteroG tends to pin
+// to a single device to eliminate gradient aggregation (Table 2 discussion).
+func VGG19(batch int) (*graph.Graph, error) {
+	b := newBuilder("VGG-19", batch)
+	x := b.input(224 * 224 * 3)
+	stages := []struct {
+		convs, cout, hw int
+	}{
+		{2, 64, 224}, {2, 128, 112}, {4, 256, 56}, {4, 512, 28}, {4, 512, 14},
+	}
+	cin := 3
+	for si, st := range stages {
+		b.nextLayer()
+		for ci := 0; ci < st.convs; ci++ {
+			x = b.conv2d(fmt.Sprintf("conv%d_%d", si+1, ci+1), x, st.hw, st.hw, cin, st.cout, 3)
+			x = b.activation(fmt.Sprintf("relu%d_%d", si+1, ci+1), x)
+			cin = st.cout
+		}
+		x = b.pool(fmt.Sprintf("pool%d", si+1), x, st.hw/2, st.hw/2, st.cout)
+	}
+	// Flatten: 7*7*512 = 25088.
+	b.nextLayer()
+	x = b.matmul("fc6", x, 1, 7*7*512, 4096)
+	x = b.activation("relu6", x)
+	b.nextLayer()
+	x = b.matmul("fc7", x, 1, 4096, 4096)
+	x = b.activation("relu7", x)
+	b.nextLayer()
+	x = b.matmul("fc8", x, 1, 4096, 1000)
+	b.softmaxLoss("loss", x, 1000)
+	return b.finishTraining()
+}
+
+// ResNet200 builds ResNet-200 (v2 bottleneck, stage depths 3/24/36/3) at the
+// given global batch size.
+func ResNet200(batch int) (*graph.Graph, error) {
+	return resNet("ResNet200", batch, []int{3, 24, 36, 3})
+}
+
+// ResNet50 builds ResNet-50 (stage depths 3/4/6/3).
+func ResNet50(batch int) (*graph.Graph, error) {
+	return resNet("ResNet50", batch, []int{3, 4, 6, 3})
+}
+
+// ResNet101 builds ResNet-101 (stage depths 3/4/23/3).
+func ResNet101(batch int) (*graph.Graph, error) {
+	return resNet("ResNet101", batch, []int{3, 4, 23, 3})
+}
+
+// ResNet152 builds ResNet-152 (stage depths 3/8/36/3).
+func ResNet152(batch int) (*graph.Graph, error) {
+	return resNet("ResNet152", batch, []int{3, 8, 36, 3})
+}
+
+func resNet(name string, batch int, depths []int) (*graph.Graph, error) {
+	b := newBuilder(name, batch)
+	x := b.input(224 * 224 * 3)
+	b.nextLayer()
+	x = b.conv2d("conv1", x, 112, 112, 3, 64, 7)
+	x = b.batchNorm("bn1", x, 112, 112, 64)
+	x = b.activation("relu1", x)
+	x = b.pool("pool1", x, 56, 56, 64)
+
+	hw := 56
+	cin := 64
+	width := 64
+	for si, depth := range depths {
+		cout := width * 4
+		for bi := 0; bi < depth; bi++ {
+			b.nextLayer()
+			pfx := fmt.Sprintf("s%db%d_", si+1, bi+1)
+			stride := 1
+			if bi == 0 && si > 0 {
+				stride = 2
+				hw /= 2
+			}
+			_ = stride
+			shortcut := x
+			if cin != cout {
+				shortcut = b.conv2d(pfx+"proj", x, hw, hw, cin, cout, 1)
+			}
+			y := b.conv2d(pfx+"conv1", x, hw, hw, cin, width, 1)
+			y = b.batchNorm(pfx+"bn1", y, hw, hw, width)
+			y = b.activation(pfx+"relu1", y)
+			y = b.conv2d(pfx+"conv2", y, hw, hw, width, width, 3)
+			y = b.batchNorm(pfx+"bn2", y, hw, hw, width)
+			y = b.activation(pfx+"relu2", y)
+			y = b.conv2d(pfx+"conv3", y, hw, hw, width, cout, 1)
+			y = b.batchNorm(pfx+"bn3", y, hw, hw, cout)
+			x = b.add(pfx+"add", y, shortcut)
+			x = b.activation(pfx+"relu3", x)
+			cin = cout
+		}
+		width *= 2
+	}
+	b.nextLayer()
+	x = b.pool("avgpool", x, 1, 1, cin)
+	x = b.matmul("fc", x, 1, cin, 1000)
+	b.softmaxLoss("loss", x, 1000)
+	return b.finishTraining()
+}
+
+// InceptionV3 builds an Inception-v3-shaped graph: conv stem plus 11 inception
+// modules with parallel branches, ~24M parameters, ~5.7 GFLOPs/sample.
+func InceptionV3(batch int) (*graph.Graph, error) {
+	b := newBuilder("Inception_v3", batch)
+	x := b.input(299 * 299 * 3)
+	b.nextLayer()
+	x = b.conv2d("stem1", x, 149, 149, 3, 32, 3)
+	x = b.conv2d("stem2", x, 147, 147, 32, 32, 3)
+	x = b.conv2d("stem3", x, 147, 147, 32, 64, 3)
+	x = b.pool("stemPool1", x, 73, 73, 64)
+	x = b.conv2d("stem4", x, 73, 73, 64, 80, 1)
+	x = b.conv2d("stem5", x, 71, 71, 80, 192, 3)
+	x = b.pool("stemPool2", x, 35, 35, 192)
+
+	inception := func(name string, in *graph.Op, hw, cin int, branch []int) *graph.Op {
+		b.nextLayer()
+		var outs []*graph.Op
+		for bi, cout := range branch {
+			k := 1
+			if bi%2 == 1 {
+				k = 3
+			}
+			br := b.conv2d(fmt.Sprintf("%s_b%d_1", name, bi), in, hw, hw, cin, cout, 1)
+			br = b.batchNorm(fmt.Sprintf("%s_b%d_bn", name, bi), br, hw, hw, cout)
+			br = b.conv2d(fmt.Sprintf("%s_b%d_2", name, bi), br, hw, hw, cout, cout, k)
+			br = b.activation(fmt.Sprintf("%s_b%d_relu", name, bi), br)
+			outs = append(outs, br)
+		}
+		return b.concatChannels(name+"_concat", outs...)
+	}
+
+	cin := 192
+	hw := 35
+	for i := 0; i < 3; i++ {
+		x = inception(fmt.Sprintf("mixedA%d", i), x, hw, cin, []int{64, 64, 96, 32})
+		cin = 64 + 64 + 96 + 32
+	}
+	hw = 17
+	x = b.pool("reduceA", x, hw, hw, cin)
+	for i := 0; i < 5; i++ {
+		x = inception(fmt.Sprintf("mixedB%d", i), x, hw, cin, []int{192, 160, 160, 192})
+		cin = 192 + 160 + 160 + 192
+	}
+	hw = 8
+	x = b.pool("reduceB", x, hw, hw, cin)
+	for i := 0; i < 3; i++ {
+		x = inception(fmt.Sprintf("mixedC%d", i), x, hw, cin, []int{320, 384, 384, 192})
+		cin = 320 + 384 + 384 + 192
+	}
+	b.nextLayer()
+	x = b.pool("avgpool", x, 1, 1, cin)
+	x = b.matmul("fc", x, 1, cin, 1000)
+	b.softmaxLoss("loss", x, 1000)
+	return b.finishTraining()
+}
+
+// MobileNetV2 builds MobileNet-v2: 17 inverted-residual blocks with depthwise
+// convolutions, ~3.5M parameters.
+func MobileNetV2(batch int) (*graph.Graph, error) {
+	b := newBuilder("MobileNet_v2", batch)
+	x := b.input(224 * 224 * 3)
+	b.nextLayer()
+	x = b.conv2d("conv1", x, 112, 112, 3, 32, 3)
+	x = b.batchNorm("bn1", x, 112, 112, 32)
+	x = b.activation("relu1", x)
+
+	// t = expansion factor, c = output channels, n = repeats, s = stride.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 2}, {6, 64, 4, 2},
+		{6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+	}
+	hw := 112
+	cin := 32
+	blk := 0
+	for _, c := range cfg {
+		for r := 0; r < c.n; r++ {
+			b.nextLayer()
+			blk++
+			pfx := fmt.Sprintf("block%d_", blk)
+			if r == 0 && c.s == 2 {
+				hw /= 2
+			}
+			mid := cin * c.t
+			shortcut := x
+			y := b.conv2d(pfx+"expand", x, hw, hw, cin, mid, 1)
+			y = b.batchNorm(pfx+"bnE", y, hw, hw, mid)
+			y = b.depthwiseConv2d(pfx+"dw", y, hw, hw, mid, 3)
+			y = b.batchNorm(pfx+"bnD", y, hw, hw, mid)
+			y = b.activation(pfx+"relu", y)
+			y = b.conv2d(pfx+"project", y, hw, hw, mid, c.c, 1)
+			y = b.batchNorm(pfx+"bnP", y, hw, hw, c.c)
+			if cin == c.c && (r > 0 || c.s == 1) {
+				y = b.add(pfx+"add", y, shortcut)
+			}
+			x = y
+			cin = c.c
+		}
+	}
+	b.nextLayer()
+	x = b.conv2d("convLast", x, hw, hw, cin, 1280, 1)
+	x = b.pool("avgpool", x, 1, 1, 1280)
+	x = b.matmul("fc", x, 1, 1280, 1000)
+	b.softmaxLoss("loss", x, 1000)
+	return b.finishTraining()
+}
+
+// NasNet builds a NASNet-A-large-shaped graph: 18 cells, each a dense bundle
+// of separable convolutions and pooling branches combined by additions. Its
+// irregular, wide structure is why EV-AR is already near-optimal for it
+// (Table 2: 66.5% of ops keep EV-AR under HeteroG).
+func NasNet(batch int) (*graph.Graph, error) {
+	b := newBuilder("NasNet", batch)
+	x := b.input(224 * 224 * 3)
+	b.nextLayer()
+	x = b.conv2d("stem", x, 112, 112, 3, 96, 3)
+	x = b.batchNorm("stemBN", x, 112, 112, 96)
+	x = b.pool("stemPool", x, 56, 56, 96)
+
+	hw := 56
+	cin := 96
+	prev := x
+	cell := func(name string, cur, prv *graph.Op, hw, cin, cout int) *graph.Op {
+		b.nextLayer()
+		var outs []*graph.Op
+		for bi := 0; bi < 5; bi++ {
+			src := cur
+			if bi%2 == 1 {
+				src = prv
+			}
+			k := 3
+			if bi%3 == 2 {
+				k = 5
+			}
+			y := b.depthwiseConv2d(fmt.Sprintf("%s_sep%d_dw", name, bi), src, hw, hw, cin, k)
+			y = b.conv2d(fmt.Sprintf("%s_sep%d_pw", name, bi), y, hw, hw, cin, cout, 1)
+			y = b.batchNorm(fmt.Sprintf("%s_sep%d_bn", name, bi), y, hw, hw, cout)
+			outs = append(outs, y)
+		}
+		s := outs[0]
+		for bi := 1; bi < len(outs); bi++ {
+			s = b.add(fmt.Sprintf("%s_add%d", name, bi), s, outs[bi])
+		}
+		return s
+	}
+
+	stages := []struct {
+		cells, cout, hw int
+	}{{6, 336, 28}, {6, 672, 14}, {6, 1344, 7}}
+	ci := 0
+	for _, st := range stages {
+		hw = st.hw
+		for c := 0; c < st.cells; c++ {
+			ci++
+			y := cell(fmt.Sprintf("cell%d", ci), x, prev, hw, cin, st.cout)
+			prev = x
+			x = y
+			cin = st.cout
+		}
+	}
+	b.nextLayer()
+	x = b.pool("avgpool", x, 1, 1, cin)
+	x = b.matmul("fc", x, 1, cin, 1000)
+	b.softmaxLoss("loss", x, 1000)
+	return b.finishTraining()
+}

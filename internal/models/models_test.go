@@ -1,0 +1,276 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"heterog/internal/graph"
+)
+
+func TestAllZooModelsBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := Build(name, 48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.NumOps() < 20 {
+				t.Fatalf("%s has only %d ops", name, g.NumOps())
+			}
+		})
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := Build("no-such-model", 32); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestParameterCountsAreRealistic(t *testing.T) {
+	// Expected parameter sizes within a factor of the published models.
+	cases := []struct {
+		key          string
+		minMB, maxMB int64
+	}{
+		{"vgg19", 400, 700},        // ~143M params = 548 MB (fc-heavy)
+		{"resnet200", 180, 350},    // ~63M params = 240 MB
+		{"inception_v3", 60, 150},  // ~24M params = 91 MB
+		{"mobilenet_v2", 8, 32},    // ~3.5M params = 13 MB
+		{"bert24", 1000, 1700},     // ~330M params (tied embeddings)
+		{"transformer6", 180, 350}, // ~60M params
+	}
+	for _, tc := range cases {
+		g, err := Build(tc.key, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var params int64
+		for _, op := range g.Ops {
+			if !op.Kind.IsBackward() {
+				params += op.ParamBytes
+			}
+		}
+		mb := params >> 20
+		if mb < tc.minMB || mb > tc.maxMB {
+			t.Errorf("%s has %d MB of parameters, want [%d,%d]", tc.key, mb, tc.minMB, tc.maxMB)
+		}
+	}
+}
+
+func TestBackwardDerivationInvariants(t *testing.T) {
+	g, err := Build("vgg19", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*graph.Op{}
+	for _, op := range g.Ops {
+		byName[op.Name] = op
+	}
+	for _, op := range g.Ops {
+		if op.ParamBytes > 0 && !op.Kind.IsBackward() && op.Kind != graph.KindApplyGradient {
+			gw, ok := byName[op.Name+"_gradW"]
+			if !ok {
+				t.Fatalf("parameterized op %q lacks a weight-gradient op", op.Name)
+			}
+			if gw.ParamBytes != op.ParamBytes {
+				t.Fatalf("%q gradW aggregates %d bytes, forward owns %d", op.Name, gw.ParamBytes, op.ParamBytes)
+			}
+			if gw.Forward != op {
+				t.Fatalf("%q gradW not linked to its forward op", op.Name)
+			}
+			apply, ok := byName[op.Name+"_apply"]
+			if !ok {
+				t.Fatalf("parameterized op %q lacks an apply op", op.Name)
+			}
+			if len(apply.Inputs) != 1 || apply.Inputs[0] != gw {
+				t.Fatalf("%q apply not fed by its gradW", op.Name)
+			}
+		}
+	}
+}
+
+func TestFirstLayerInputGradientPruned(t *testing.T) {
+	g, err := Build("vgg19", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops {
+		if op.Name == "conv1_1_grad" {
+			t.Fatal("input gradient of the first conv should be pruned (nothing consumes it)")
+		}
+	}
+}
+
+func TestEmbeddingGradientsAreSparse(t *testing.T) {
+	g, err := Build("bert24", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range g.Ops {
+		if strings.HasSuffix(op.Name, "wordEmbedding_gradW") {
+			found = true
+			if op.SparseGradBytes == 0 {
+				t.Fatal("embedding gradient should carry a sparse size")
+			}
+			if op.SparseGradBytes >= op.ParamBytes {
+				t.Fatalf("sparse size %d must be below dense %d", op.SparseGradBytes, op.ParamBytes)
+			}
+		}
+		if op.Kind == graph.KindConv2DBpFilter && op.SparseGradBytes != 0 {
+			t.Fatal("conv gradients must be dense")
+		}
+	}
+	if !found {
+		t.Fatal("no embedding gradient op found")
+	}
+}
+
+func TestFLOPsScaleWithBatch(t *testing.T) {
+	small, err := Build("resnet200", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Build("resnet200", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := large.ComputeStats().TotalFLOPs / small.ComputeStats().TotalFLOPs
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("doubling the batch scaled FLOPs by %v, want ~2", ratio)
+	}
+	// Parameters are batch-independent.
+	if small.ComputeStats().ParamBytes != large.ComputeStats().ParamBytes {
+		t.Fatal("parameter bytes must not depend on batch size")
+	}
+}
+
+func TestNLPModelsUseAdamSlots(t *testing.T) {
+	for _, key := range []string{"bert24", "xlnet24", "transformer6"} {
+		g, err := Build(key, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.OptimizerSlots != 4 {
+			t.Errorf("%s OptimizerSlots=%d, want 4 (Adam)", key, g.OptimizerSlots)
+		}
+	}
+	g, err := Build("vgg19", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OptimizerSlots != 0 {
+		t.Errorf("CNNs should use the default momentum slots, got %d", g.OptimizerSlots)
+	}
+}
+
+func TestLayeredVariantsGrow(t *testing.T) {
+	b24, err := Build("bert24", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b48, err := Build("bert48", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b48.NumOps() <= b24.NumOps() {
+		t.Fatal("48-layer BERT must have more ops than 24-layer")
+	}
+	p24 := b24.ComputeStats().ParamBytes
+	p48 := b48.ComputeStats().ParamBytes
+	if float64(p48) < 1.6*float64(p24) {
+		t.Fatalf("48-layer params (%d) should be near double 24-layer (%d)", p48, p24)
+	}
+}
+
+func TestDeepTransformerUsesBigDims(t *testing.T) {
+	t6, err := Build("transformer6", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t24, err := Build("transformer24", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p6 := t6.ComputeStats().ParamBytes
+	p24 := t24.ComputeStats().ParamBytes
+	// 4x layers and 2x width: far more than 4x parameters.
+	if float64(p24) < 6*float64(p6) {
+		t.Fatalf("transformer24 params %d vs transformer6 %d: big variant too small", p24, p6)
+	}
+}
+
+func TestBenchmarkTables(t *testing.T) {
+	std := StandardBenchmarks()
+	if len(std) != 8 {
+		t.Fatalf("want 8 standard benchmarks, got %d", len(std))
+	}
+	large := LargeBenchmarks()
+	if len(large) != 6 {
+		t.Fatalf("want 6 large benchmarks, got %d", len(large))
+	}
+	for _, bm := range append(std, large...) {
+		if _, err := Build(bm.Key, bm.Batch8); err != nil {
+			t.Errorf("benchmark %s does not build: %v", bm.Key, err)
+		}
+		if bm.Batch12*2 != bm.Batch8*3 {
+			t.Errorf("%s: 12-GPU batch %d is not 1.5x the 8-GPU batch %d", bm.Key, bm.Batch12, bm.Batch8)
+		}
+	}
+}
+
+func TestIterationsToAccuracy(t *testing.T) {
+	// The constants must reproduce the paper's Table 5 minute figures when
+	// multiplied by its per-iteration times (spot check VGG-19: 0.462s x
+	// 66640 iters = 513.2 min).
+	iters, ok := IterationsToAccuracy("vgg19", 8)
+	if !ok {
+		t.Fatal("missing vgg19/8")
+	}
+	minutes := 0.462 * float64(iters) / 60
+	if minutes < 510 || minutes > 516 {
+		t.Fatalf("vgg19 constants give %.1f min, paper says 513.1", minutes)
+	}
+	if _, ok := IterationsToAccuracy("bert24", 8); ok {
+		t.Fatal("NLP models have no Table-5 row")
+	}
+	if _, ok := IterationsToAccuracy("vgg19", 16); ok {
+		t.Fatal("no constants for 16 GPUs")
+	}
+}
+
+func TestTiedProjectionsOwnNoParams(t *testing.T) {
+	g, err := Build("bert24", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops {
+		if op.Name == "mlmHead" && op.ParamBytes != 0 {
+			t.Fatal("tied MLM head must not own parameters")
+		}
+	}
+}
+
+func TestQKVMemScale(t *testing.T) {
+	g, err := Build("bert24", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, op := range g.Ops {
+		if strings.HasSuffix(op.Name, "_q") || strings.HasSuffix(op.Name, "_k") || strings.HasSuffix(op.Name, "_v") {
+			if op.MemScale != 2 {
+				t.Fatalf("%s MemScale=%v, want 2", op.Name, op.MemScale)
+			}
+			n++
+		}
+	}
+	if n != 3*24 {
+		t.Fatalf("found %d QKV ops, want %d", n, 3*24)
+	}
+}

@@ -1,0 +1,139 @@
+package models
+
+import (
+	"fmt"
+
+	"heterog/internal/graph"
+)
+
+// transformerBlock appends one self-attention + feed-forward block.
+// rows is tokens per sample, d the hidden size, ff the feed-forward size,
+// heads the attention head count (the score/probability tensors carry a
+// per-head dimension), and streams the number of attention streams (XLNet's
+// two-stream attention doubles the attention cost).
+func transformerBlock(b *builder, pfx string, x *graph.Op, rows, d, ff, heads, streams int) *graph.Op {
+	b.nextLayer()
+	// QKV projections. Each keeps a head-transposed copy of its output for
+	// the batched attention matmuls, doubling its resident footprint.
+	q := b.matmul(pfx+"q", x, rows, d, d)
+	k := b.matmul(pfx+"k", x, rows, d, d)
+	v := b.matmul(pfx+"v", x, rows, d, d)
+	q.MemScale, k.MemScale, v.MemScale = 2, 2, 2
+	// Attention scores + context: 2 * B * rows^2 * d each, per stream; the
+	// score tensor is [B, heads, rows, rows].
+	scoreFLOPs := float64(streams) * 2 * float64(b.batch) * float64(rows*rows) * float64(d)
+	scoreBytes := int64(streams*heads*b.batch*rows*rows) * bytesPerElem
+	scores := b.matmulNoParam(pfx+"scores", scoreFLOPs, scoreBytes, q, k)
+	// The softmax output is retained together with its attention-dropout
+	// mask (backward needs both), so its resident footprint is 1.5x the
+	// probability tensor.
+	probs := b.addFwd(pfx+"softmax", graph.KindSoftmax, float64(scoreBytes)/bytesPerElem*5, 0, scoreBytes*3/2, scores)
+	ctx := b.matmulNoParam(pfx+"context", scoreFLOPs, int64(b.batch*rows*d)*bytesPerElem, probs, v)
+	proj := b.matmul(pfx+"proj", ctx, rows, d, d)
+	res1 := b.add(pfx+"res1", proj, x)
+	ln1 := b.layerNorm(pfx+"ln1", res1, rows, d)
+	// Feed-forward.
+	f1 := b.matmul(pfx+"ff1", ln1, rows, d, ff)
+	act := b.activation(pfx+"gelu", f1)
+	f2 := b.matmul(pfx+"ff2", act, rows, ff, d)
+	res2 := b.add(pfx+"res2", f2, ln1)
+	return b.layerNorm(pfx+"ln2", res2, rows, d)
+}
+
+// Transformer builds an encoder-decoder Transformer (base dimensions:
+// d=512, ff=2048, seq 128, 32k vocab) with the given number of layers per
+// stack. The paper evaluates 6-, 24- and 48-layer variants.
+func Transformer(layers, batch int) (*graph.Graph, error) {
+	// Sentence-pair translation workload: the batch counts sentences of a
+	// modest average length, so the per-sample sequence is short while the
+	// vocabulary projection keeps the parameter volume high — the regime in
+	// which the paper observes PS-only aggregation collapsing (Table 1's
+	// 222% speed-up row). The 6-layer variant is Transformer-base
+	// (d=512, ff=2048, 8 heads); the deep 24/48-layer variants use the
+	// Transformer-big width (d=1024, ff=4096, 16 heads), which is what makes
+	// pure data parallelism run out of memory in Table 1's bottom rows.
+	const (
+		seq   = 64
+		vocab = 32000
+	)
+	d, ff, heads := 512, 2048, 8
+	if layers >= 24 {
+		d, ff, heads = 1024, 4096, 16
+	}
+	b := newBuilder(fmt.Sprintf("Transformer (%d layers)", layers), batch)
+	b.g.OptimizerSlots = 4 // Adam
+	tok := b.input(seq)
+	b.nextLayer()
+	x := b.embedding("embedding", tok, seq, vocab, d)
+	for l := 0; l < layers; l++ {
+		x = transformerBlock(b, fmt.Sprintf("enc%d_", l+1), x, seq, d, ff, heads, 1)
+	}
+	// Decoder stack (self-attn approximated within the block; cross-attention
+	// modeled as an extra block on encoder output).
+	for l := 0; l < layers; l++ {
+		x = transformerBlock(b, fmt.Sprintf("dec%d_", l+1), x, seq, d, ff, heads, 1)
+	}
+	b.nextLayer()
+	// Output projection tied to the input embedding (standard practice).
+	logits := b.tiedMatmul("lmHead", x, seq, d, vocab)
+	b.softmaxLoss("loss", logits, vocab)
+	return b.finishTraining()
+}
+
+// BertLarge builds BERT-large (d=1024, ff=4096, 16 heads, seq 160, 30k vocab)
+// with the given number of layers. 24 layers is the published model; the
+// paper also evaluates a 48-layer variant.
+func BertLarge(layers, batch int) (*graph.Graph, error) {
+	const (
+		seq   = 160
+		d     = 1024
+		ff    = 4096
+		vocab = 30522
+	)
+	b := newBuilder(fmt.Sprintf("Bert-large (%d layers)", layers), batch)
+	b.g.OptimizerSlots = 4 // Adam
+	tok := b.input(seq)
+	b.nextLayer()
+	x := b.embedding("wordEmbedding", tok, seq, vocab, d)
+	pos := b.embedding("posEmbedding", tok, seq, 512, d)
+	x = b.add("embedAdd", x, pos)
+	x = b.layerNorm("embedLN", x, seq, d)
+	for l := 0; l < layers; l++ {
+		x = transformerBlock(b, fmt.Sprintf("layer%d_", l+1), x, seq, d, ff, 16, 1)
+	}
+	b.nextLayer()
+	pooled := b.matmul("pooler", x, seq, d, d)
+	// MLM head tied to the word-embedding table (as in the BERT release).
+	logits := b.tiedMatmul("mlmHead", pooled, seq, d, vocab)
+	b.softmaxLoss("loss", logits, vocab)
+	return b.finishTraining()
+}
+
+// XlnetLarge builds XLNet-large: BERT-large dimensions plus two-stream
+// relative attention (doubling attention cost) and a relative position
+// projection per layer.
+func XlnetLarge(layers, batch int) (*graph.Graph, error) {
+	const (
+		seq   = 160
+		d     = 1024
+		ff    = 4096
+		vocab = 32000
+	)
+	b := newBuilder(fmt.Sprintf("Xlnet-large (%d layers)", layers), batch)
+	b.g.OptimizerSlots = 4 // Adam
+	tok := b.input(seq)
+	b.nextLayer()
+	x := b.embedding("wordEmbedding", tok, seq, vocab, d)
+	x = b.layerNorm("embedLN", x, seq, d)
+	for l := 0; l < layers; l++ {
+		pfx := fmt.Sprintf("layer%d_", l+1)
+		// Relative positional projection adds one more d x d matmul.
+		r := b.matmul(pfx+"relPos", x, seq, d, d)
+		y := transformerBlock(b, pfx, x, seq, d, ff, 16, 2)
+		x = b.add(pfx+"relAdd", y, r)
+	}
+	b.nextLayer()
+	logits := b.tiedMatmul("lmHead", x, seq, d, vocab)
+	b.softmaxLoss("loss", logits, vocab)
+	return b.finishTraining()
+}

@@ -1,0 +1,113 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"heterog/internal/graph"
+)
+
+// Builder constructs a model's training graph at a global batch size.
+type Builder func(batch int) (*graph.Graph, error)
+
+// registry maps canonical model names to builders. Layered NLP models are
+// registered at the layer counts the paper evaluates.
+var registry = map[string]Builder{
+	"vgg19":         VGG19,
+	"resnet50":      ResNet50,
+	"resnet101":     ResNet101,
+	"resnet152":     ResNet152,
+	"resnet200":     ResNet200,
+	"inception_v3":  InceptionV3,
+	"mobilenet_v2":  MobileNetV2,
+	"nasnet":        NasNet,
+	"transformer6":  func(b int) (*graph.Graph, error) { return Transformer(6, b) },
+	"transformer24": func(b int) (*graph.Graph, error) { return Transformer(24, b) },
+	"transformer48": func(b int) (*graph.Graph, error) { return Transformer(48, b) },
+	"bert24":        func(b int) (*graph.Graph, error) { return BertLarge(24, b) },
+	"bert48":        func(b int) (*graph.Graph, error) { return BertLarge(48, b) },
+	"xlnet24":       func(b int) (*graph.Graph, error) { return XlnetLarge(24, b) },
+	"xlnet48":       func(b int) (*graph.Graph, error) { return XlnetLarge(48, b) },
+}
+
+// Build constructs the named model at the given batch size.
+func Build(name string, batch int) (*graph.Graph, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (have %v)", name, Names())
+	}
+	return b(batch)
+}
+
+// Names lists registered model names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Benchmark describes one evaluation workload: a model at a batch size, as
+// used by the paper's tables.
+type Benchmark struct {
+	// Key is the registry name.
+	Key string
+	// Display matches the paper's row label.
+	Display string
+	// Batch8 and Batch12 are the global batch sizes on 8 and 12 GPUs
+	// (strong scaling: the 12-GPU batch is 1.5x the 8-GPU one).
+	Batch8, Batch12 int
+	// Large marks the OOM-for-pure-DP rows at the bottom of Tables 1/4.
+	Large bool
+}
+
+// StandardBenchmarks returns the 8 regular-size workloads of Tables 1/2/4.
+func StandardBenchmarks() []Benchmark {
+	return []Benchmark{
+		{Key: "vgg19", Display: "VGG-19", Batch8: 192, Batch12: 288},
+		{Key: "resnet200", Display: "ResNet200", Batch8: 192, Batch12: 288},
+		{Key: "inception_v3", Display: "Inception_v3", Batch8: 192, Batch12: 288},
+		{Key: "mobilenet_v2", Display: "MobileNet_v2", Batch8: 192, Batch12: 288},
+		{Key: "nasnet", Display: "NasNet", Batch8: 192, Batch12: 288},
+		{Key: "transformer6", Display: "Transformer (6 layers)", Batch8: 720, Batch12: 1080},
+		{Key: "bert24", Display: "Bert-large (24 layers)", Batch8: 48, Batch12: 72},
+		{Key: "xlnet24", Display: "XlNet-large (24 layers)", Batch8: 48, Batch12: 72},
+	}
+}
+
+// LargeBenchmarks returns the large-model workloads (bottom of Tables 1/4,
+// Table 3) for which pure data parallelism runs out of memory.
+func LargeBenchmarks() []Benchmark {
+	return []Benchmark{
+		{Key: "resnet200", Display: "ResNet200", Batch8: 384, Batch12: 576, Large: true},
+		{Key: "transformer24", Display: "Transformer (24 layers)", Batch8: 120, Batch12: 180, Large: true},
+		{Key: "bert24", Display: "Bert-large (24 layers)", Batch8: 96, Batch12: 144, Large: true},
+		{Key: "xlnet24", Display: "XlNet-large (24 layers)", Batch8: 96, Batch12: 144, Large: true},
+		{Key: "bert48", Display: "Bert-large (48 layers)", Batch8: 24, Batch12: 36, Large: true},
+		{Key: "xlnet48", Display: "XlNet-large (48 layers)", Batch8: 24, Batch12: 36, Large: true},
+	}
+}
+
+// IterationsToAccuracy gives the number of training iterations for each CNN
+// to reach its target Top-5 accuracy at the Table-5 batch sizes. Because
+// HeteroG preserves synchronous-SGD semantics, the iteration count is
+// strategy-independent (paper §6.4); end-to-end time is iterations x
+// per-iteration time. Values are derived from Table 5's reported
+// minutes / per-iteration seconds.
+func IterationsToAccuracy(key string, gpus int) (int, bool) {
+	iters := map[string]map[int]int{
+		"vgg19":        {8: 66640, 12: 44110},
+		"resnet200":    {8: 54810, 12: 34130},
+		"inception_v3": {8: 94850, 12: 60240},
+		"mobilenet_v2": {8: 57260, 12: 39950},
+		"nasnet":       {8: 82920, 12: 56650},
+	}
+	m, ok := iters[key]
+	if !ok {
+		return 0, false
+	}
+	n, ok := m[gpus]
+	return n, ok
+}

@@ -1,0 +1,101 @@
+package nn
+
+import "math"
+
+// GraphAttention records one sparse GAT attention head:
+//
+//	e_ij   = LeakyReLU(s1_i + s2_j, 0.2)      for j in neighbors[i]
+//	α_i·   = softmax over e_i·
+//	out_i  = Σ_j α_ij · h_j
+//
+// h is N x F (the projected features), s1 and s2 are N x 1 attention scores,
+// and neighbors[i] lists node i's neighbourhood (include i itself for the
+// paper's self-inclusive N_o). Memory and time are O(E), not O(N²).
+func (t *Tape) GraphAttention(h, s1, s2 *Node, neighbors [][]int) *Node {
+	const slope = 0.2
+	n, f := h.Value.Rows, h.Value.Cols
+	if s1.Value.Rows != n || s2.Value.Rows != n || s1.Value.Cols != 1 || s2.Value.Cols != 1 {
+		panic("nn: GraphAttention score shape mismatch")
+	}
+	if len(neighbors) != n {
+		panic("nn: GraphAttention neighbor list length mismatch")
+	}
+	v := NewMatrix(n, f)
+	// alphas[i][k] is the attention weight of neighbors[i][k];
+	// raws[i][k] the pre-activation logit (for the LeakyReLU derivative).
+	alphas := make([][]float64, n)
+	raws := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		nb := neighbors[i]
+		if len(nb) == 0 {
+			continue
+		}
+		alpha := make([]float64, len(nb))
+		raw := make([]float64, len(nb))
+		maxv := math.Inf(-1)
+		for k, j := range nb {
+			r := s1.Value.Data[i] + s2.Value.Data[j]
+			raw[k] = r
+			e := r
+			if e < 0 {
+				e *= slope
+			}
+			alpha[k] = e
+			if e > maxv {
+				maxv = e
+			}
+		}
+		var sum float64
+		for k := range alpha {
+			alpha[k] = math.Exp(alpha[k] - maxv)
+			sum += alpha[k]
+		}
+		out := v.Row(i)
+		for k, j := range nb {
+			alpha[k] /= sum
+			hr := h.Value.Row(j)
+			a := alpha[k]
+			for c := 0; c < f; c++ {
+				out[c] += a * hr[c]
+			}
+		}
+		alphas[i] = alpha
+		raws[i] = raw
+	}
+	node := t.node(v, nil, h, s1, s2)
+	node.back = func() {
+		for i := 0; i < n; i++ {
+			nb := neighbors[i]
+			if len(nb) == 0 {
+				continue
+			}
+			gout := node.Grad.Row(i)
+			alpha := alphas[i]
+			raw := raws[i]
+			// dα_ik = gout · h_k ; dh_k += α_ik gout
+			dAlpha := make([]float64, len(nb))
+			var dot float64
+			for k, j := range nb {
+				hr := h.Value.Row(j)
+				gh := h.Grad.Row(j)
+				var da float64
+				a := alpha[k]
+				for c := 0; c < f; c++ {
+					da += gout[c] * hr[c]
+					gh[c] += a * gout[c]
+				}
+				dAlpha[k] = da
+				dot += a * da
+			}
+			for k, j := range nb {
+				de := alpha[k] * (dAlpha[k] - dot)
+				if raw[k] < 0 {
+					de *= slope
+				}
+				s1.Grad.Data[i] += de
+				s2.Grad.Data[j] += de
+			}
+		}
+	}
+	return node
+}

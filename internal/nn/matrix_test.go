@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n, k, p := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := randMat(rng, n, k), randMat(rng, k, p)
+		got := MatMul(a, b)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				var want float64
+				for kk := 0; kk < k; kk++ {
+					want += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(got.At(i, j)-want) > 1e-10 {
+					t.Fatalf("trial %d: (%d,%d): got %v want %v", trial, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMat(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransposeIdentity(t *testing.T) {
+	// (A x B)^T == B^T x A^T — a property of the multiply kernel.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat(rng, 1+rng.Intn(5), 1+rng.Intn(5))
+		b := randMat(rng, a.Cols, 1+rng.Intn(5))
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2)=%v", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.Row(0)[1] != 9 {
+		t.Fatalf("Set/Row mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestRandomizeXavierBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMatrix(10, 20)
+	m.Randomize(rng)
+	limit := math.Sqrt(6.0 / 30.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside Xavier bound %v", v, limit)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||x - target||^2.
+	target := FromRows([][]float64{{1, -2, 3}})
+	x := NewMatrix(1, 3)
+	opt := NewAdam(0.1)
+	for step := 0; step < 400; step++ {
+		tp := NewTape()
+		xn := tp.Param(x)
+		diff := tp.Add(xn, tp.Scale(tp.Input(target), -1))
+		loss := tp.Sum(tp.Mul(diff, diff))
+		if err := tp.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step([]*Node{xn}, false)
+	}
+	for i, want := range target.Data {
+		if math.Abs(x.Data[i]-want) > 1e-3 {
+			t.Fatalf("Adam did not converge: x[%d]=%v want %v", i, x.Data[i], want)
+		}
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	target := FromRows([][]float64{{-1, 0.5}})
+	x := NewMatrix(1, 2)
+	opt := NewSGD(0.05, 0.9)
+	for step := 0; step < 300; step++ {
+		tp := NewTape()
+		xn := tp.Param(x)
+		diff := tp.Add(xn, tp.Scale(tp.Input(target), -1))
+		loss := tp.Sum(tp.Mul(diff, diff))
+		if err := tp.Backward(loss); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step([]*Node{xn}, false)
+	}
+	for i, want := range target.Data {
+		if math.Abs(x.Data[i]-want) > 1e-3 {
+			t.Fatalf("SGD did not converge: x[%d]=%v want %v", i, x.Data[i], want)
+		}
+	}
+}
+
+func TestAdamMaximize(t *testing.T) {
+	// Maximize -(x-2)^2: should drive x toward 2.
+	x := NewMatrix(1, 1)
+	opt := NewAdam(0.1)
+	for step := 0; step < 300; step++ {
+		tp := NewTape()
+		xn := tp.Param(x)
+		two := FromRows([][]float64{{2}})
+		diff := tp.Add(xn, tp.Scale(tp.Input(two), -1))
+		obj := tp.Scale(tp.Sum(tp.Mul(diff, diff)), -1)
+		if err := tp.Backward(obj); err != nil {
+			t.Fatal(err)
+		}
+		opt.Step([]*Node{xn}, true)
+	}
+	if math.Abs(x.Data[0]-2) > 1e-3 {
+		t.Fatalf("maximize failed: x=%v", x.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	tp := NewTape()
+	x := tp.Param(NewMatrix(1, 4))
+	copy(x.Grad.Data, []float64{3, 4, 0, 0}) // norm 5
+	norm := ClipGradNorm([]*Node{x}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("reported norm %v want 5", norm)
+	}
+	var clipped float64
+	for _, g := range x.Grad.Data {
+		clipped += g * g
+	}
+	if math.Abs(math.Sqrt(clipped)-1) > 1e-9 {
+		t.Fatalf("clipped norm %v want 1", math.Sqrt(clipped))
+	}
+	// Below threshold: untouched.
+	copy(x.Grad.Data, []float64{0.1, 0, 0, 0})
+	ClipGradNorm([]*Node{x}, 1)
+	if x.Grad.Data[0] != 0.1 {
+		t.Fatal("clip modified in-bounds gradient")
+	}
+}
+
+func TestOptimizerStateZeroesGrads(t *testing.T) {
+	x := NewMatrix(1, 2)
+	opt := NewAdam(0.01)
+	tp := NewTape()
+	xn := tp.Param(x)
+	xn.Grad.Data[0], xn.Grad.Data[1] = 1, -1
+	opt.Step([]*Node{xn}, false)
+	if xn.Grad.Data[0] != 0 || xn.Grad.Data[1] != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}

@@ -1,0 +1,434 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tape records a computation for reverse-mode differentiation. Build the
+// forward pass through the Tape's operation methods, then call Backward on a
+// scalar output to populate gradients.
+type Tape struct {
+	nodes []*Node
+}
+
+// Node is one value in the recorded computation.
+type Node struct {
+	id    int
+	Value *Matrix
+	Grad  *Matrix
+	// param marks trainable leaves (their gradients are consumed by
+	// optimizers and zeroed between steps).
+	param bool
+	back  func()
+	deps  []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// node appends a recorded value.
+func (t *Tape) node(v *Matrix, back func(), deps ...*Node) *Node {
+	n := &Node{id: len(t.nodes), Value: v, Grad: NewMatrix(v.Rows, v.Cols), back: back, deps: deps}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Input records a constant/input leaf (no gradient flows out of it, but its
+// Grad is still populated so encoders can inspect input sensitivity).
+func (t *Tape) Input(v *Matrix) *Node { return t.node(v, nil) }
+
+// Param records a trainable parameter leaf.
+func (t *Tape) Param(v *Matrix) *Node {
+	n := t.node(v, nil)
+	n.param = true
+	return n
+}
+
+// Backward runs reverse-mode accumulation from the given scalar node.
+func (t *Tape) Backward(out *Node) error {
+	if out.Value.Rows != 1 || out.Value.Cols != 1 {
+		return fmt.Errorf("nn: Backward requires a 1x1 scalar output, got %dx%d", out.Value.Rows, out.Value.Cols)
+	}
+	out.Grad.Data[0] = 1
+	for i := out.id; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil {
+			n.back()
+		}
+	}
+	return nil
+}
+
+// MatMul records c = a x b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	v := MatMul(a.Value, b.Value)
+	n := t.node(v, nil, a, b)
+	n.back = func() {
+		// dA += dC x B^T ; dB += A^T x dC
+		matmulInto(a.Grad, n.Grad, b.Value.Transpose())
+		matmulInto(b.Grad, a.Value.Transpose(), n.Grad)
+	}
+	return n
+}
+
+// Add records elementwise a + b.
+func (t *Tape) Add(a, b *Node) *Node {
+	v := a.Value.Clone()
+	addInto(v, b.Value)
+	n := t.node(v, nil, a, b)
+	n.back = func() {
+		addInto(a.Grad, n.Grad)
+		addInto(b.Grad, n.Grad)
+	}
+	return n
+}
+
+// Scale records s * a for a constant s.
+func (t *Tape) Scale(a *Node, s float64) *Node {
+	v := a.Value.Clone()
+	for i := range v.Data {
+		v.Data[i] *= s
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += s * g
+		}
+	}
+	return n
+}
+
+// Mul records elementwise a * b (Hadamard).
+func (t *Tape) Mul(a, b *Node) *Node {
+	if a.Value.Rows != b.Value.Rows || a.Value.Cols != b.Value.Cols {
+		panic("nn: Mul shape mismatch")
+	}
+	v := a.Value.Clone()
+	for i := range v.Data {
+		v.Data[i] *= b.Value.Data[i]
+	}
+	n := t.node(v, nil, a, b)
+	n.back = func() {
+		for i, g := range n.Grad.Data {
+			a.Grad.Data[i] += g * b.Value.Data[i]
+			b.Grad.Data[i] += g * a.Value.Data[i]
+		}
+	}
+	return n
+}
+
+// AddRowVector records a + broadcast(row) where row is 1 x Cols.
+func (t *Tape) AddRowVector(a, row *Node) *Node {
+	if row.Value.Rows != 1 || row.Value.Cols != a.Value.Cols {
+		panic("nn: AddRowVector shape mismatch")
+	}
+	v := a.Value.Clone()
+	for i := 0; i < v.Rows; i++ {
+		r := v.Row(i)
+		for j := range r {
+			r[j] += row.Value.Data[j]
+		}
+	}
+	n := t.node(v, nil, a, row)
+	n.back = func() {
+		addInto(a.Grad, n.Grad)
+		for i := 0; i < n.Grad.Rows; i++ {
+			r := n.Grad.Row(i)
+			for j := range r {
+				row.Grad.Data[j] += r[j]
+			}
+		}
+	}
+	return n
+}
+
+// OuterSum records E[i][j] = colA[i] + colB[j] from two N x 1 columns.
+func (t *Tape) OuterSum(colA, colB *Node) *Node {
+	na, nb := colA.Value.Rows, colB.Value.Rows
+	v := NewMatrix(na, nb)
+	for i := 0; i < na; i++ {
+		ai := colA.Value.Data[i]
+		r := v.Row(i)
+		for j := 0; j < nb; j++ {
+			r[j] = ai + colB.Value.Data[j]
+		}
+	}
+	n := t.node(v, nil, colA, colB)
+	n.back = func() {
+		for i := 0; i < na; i++ {
+			r := n.Grad.Row(i)
+			var sum float64
+			for j := 0; j < nb; j++ {
+				sum += r[j]
+				colB.Grad.Data[j] += r[j]
+			}
+			colA.Grad.Data[i] += sum
+		}
+	}
+	return n
+}
+
+// LeakyReLU records max(x, alpha*x).
+func (t *Tape) LeakyReLU(a *Node, alpha float64) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		if x < 0 {
+			v.Data[i] = alpha * x
+		}
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		for i, g := range n.Grad.Data {
+			if a.Value.Data[i] < 0 {
+				g *= alpha
+			}
+			a.Grad.Data[i] += g
+		}
+	}
+	return n
+}
+
+// ELU records x for x>0, alpha*(e^x - 1) otherwise.
+func (t *Tape) ELU(a *Node, alpha float64) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		if x < 0 {
+			v.Data[i] = alpha * (math.Exp(x) - 1)
+		}
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		for i, g := range n.Grad.Data {
+			if a.Value.Data[i] < 0 {
+				g *= n.Value.Data[i] + alpha // d/dx alpha(e^x-1) = alpha e^x
+			}
+			a.Grad.Data[i] += g
+		}
+	}
+	return n
+}
+
+// Tanh records the elementwise hyperbolic tangent.
+func (t *Tape) Tanh(a *Node) *Node {
+	v := a.Value.Clone()
+	for i, x := range v.Data {
+		v.Data[i] = math.Tanh(x)
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		for i, g := range n.Grad.Data {
+			y := n.Value.Data[i]
+			a.Grad.Data[i] += g * (1 - y*y)
+		}
+	}
+	return n
+}
+
+// MaskedSoftmaxRows records a row-wise softmax restricted to positions where
+// mask (a constant matrix of the same shape) is non-zero; masked-out
+// positions get probability 0. Rows with an all-zero mask become all zeros.
+func (t *Tape) MaskedSoftmaxRows(a *Node, mask *Matrix) *Node {
+	if mask.Rows != a.Value.Rows || mask.Cols != a.Value.Cols {
+		panic("nn: MaskedSoftmaxRows mask shape mismatch")
+	}
+	v := NewMatrix(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < v.Rows; i++ {
+		in := a.Value.Row(i)
+		out := v.Row(i)
+		mrow := mask.Row(i)
+		maxv := math.Inf(-1)
+		for j, m := range mrow {
+			if m != 0 && in[j] > maxv {
+				maxv = in[j]
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			continue
+		}
+		var sum float64
+		for j, m := range mrow {
+			if m != 0 {
+				out[j] = math.Exp(in[j] - maxv)
+				sum += out[j]
+			}
+		}
+		for j := range out {
+			out[j] /= sum
+		}
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		for i := 0; i < v.Rows; i++ {
+			y := n.Value.Row(i)
+			gy := n.Grad.Row(i)
+			gx := a.Grad.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * gy[j]
+			}
+			for j := range y {
+				gx[j] += y[j] * (gy[j] - dot)
+			}
+		}
+	}
+	return n
+}
+
+// SoftmaxRows records an unmasked row-wise softmax.
+func (t *Tape) SoftmaxRows(a *Node) *Node {
+	ones := NewMatrix(a.Value.Rows, a.Value.Cols)
+	ones.Fill(1)
+	return t.MaskedSoftmaxRows(a, ones)
+}
+
+// ConcatCols records [a | b].
+func (t *Tape) ConcatCols(a, b *Node) *Node {
+	if a.Value.Rows != b.Value.Rows {
+		panic("nn: ConcatCols row mismatch")
+	}
+	v := NewMatrix(a.Value.Rows, a.Value.Cols+b.Value.Cols)
+	for i := 0; i < v.Rows; i++ {
+		copy(v.Row(i), a.Value.Row(i))
+		copy(v.Row(i)[a.Value.Cols:], b.Value.Row(i))
+	}
+	n := t.node(v, nil, a, b)
+	n.back = func() {
+		for i := 0; i < v.Rows; i++ {
+			g := n.Grad.Row(i)
+			ag := a.Grad.Row(i)
+			bg := b.Grad.Row(i)
+			for j := range ag {
+				ag[j] += g[j]
+			}
+			for j := range bg {
+				bg[j] += g[a.Value.Cols+j]
+			}
+		}
+	}
+	return n
+}
+
+// LayerNorm records per-row normalisation with learnable gain and bias
+// (1 x Cols each): y = gain * (x - mean)/sqrt(var + eps) + bias.
+func (t *Tape) LayerNorm(a, gain, bias *Node) *Node {
+	const eps = 1e-5
+	rows, cols := a.Value.Rows, a.Value.Cols
+	v := NewMatrix(rows, cols)
+	means := make([]float64, rows)
+	invStd := make([]float64, rows)
+	norm := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		in := a.Value.Row(i)
+		var mean float64
+		for _, x := range in {
+			mean += x
+		}
+		mean /= float64(cols)
+		var variance float64
+		for _, x := range in {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(cols)
+		is := 1 / math.Sqrt(variance+eps)
+		means[i], invStd[i] = mean, is
+		out := v.Row(i)
+		nr := norm.Row(i)
+		for j, x := range in {
+			nr[j] = (x - mean) * is
+			out[j] = gain.Value.Data[j]*nr[j] + bias.Value.Data[j]
+		}
+	}
+	n := t.node(v, nil, a, gain, bias)
+	n.back = func() {
+		for i := 0; i < rows; i++ {
+			gy := n.Grad.Row(i)
+			nr := norm.Row(i)
+			gx := a.Grad.Row(i)
+			var sumG, sumGN float64
+			gn := make([]float64, cols)
+			for j := range gy {
+				gain.Grad.Data[j] += gy[j] * nr[j]
+				bias.Grad.Data[j] += gy[j]
+				gn[j] = gy[j] * gain.Value.Data[j]
+				sumG += gn[j]
+				sumGN += gn[j] * nr[j]
+			}
+			is := invStd[i]
+			for j := range gy {
+				gx[j] += is * (gn[j] - sumG/float64(cols) - nr[j]*sumGN/float64(cols))
+			}
+		}
+	}
+	return n
+}
+
+// TransposeNode records aᵀ.
+func (t *Tape) TransposeNode(a *Node) *Node {
+	v := a.Value.Transpose()
+	n := t.node(v, nil, a)
+	n.back = func() {
+		gt := n.Grad.Transpose()
+		addInto(a.Grad, gt)
+	}
+	return n
+}
+
+// Sum records the scalar sum of all elements.
+func (t *Tape) Sum(a *Node) *Node {
+	v := NewMatrix(1, 1)
+	for _, x := range a.Value.Data {
+		v.Data[0] += x
+	}
+	n := t.node(v, nil, a)
+	n.back = func() {
+		g := n.Grad.Data[0]
+		for i := range a.Grad.Data {
+			a.Grad.Data[i] += g
+		}
+	}
+	return n
+}
+
+// GatherLogProbs records sum_i weight[i] * log(p[i][pick[i]] + eps): the
+// REINFORCE surrogate over per-row categorical distributions p.
+func (t *Tape) GatherLogProbs(p *Node, pick []int, weight []float64) *Node {
+	const eps = 1e-12
+	if len(pick) != p.Value.Rows || len(weight) != p.Value.Rows {
+		panic("nn: GatherLogProbs length mismatch")
+	}
+	v := NewMatrix(1, 1)
+	for i, a := range pick {
+		v.Data[0] += weight[i] * math.Log(p.Value.At(i, a)+eps)
+	}
+	n := t.node(v, nil, p)
+	n.back = func() {
+		g := n.Grad.Data[0]
+		for i, a := range pick {
+			p.Grad.Data[i*p.Value.Cols+a] += g * weight[i] / (p.Value.At(i, a) + eps)
+		}
+	}
+	return n
+}
+
+// Entropy records sum_i -sum_j p log p over per-row distributions (the
+// exploration bonus H(pi) of the paper's objective).
+func (t *Tape) Entropy(p *Node) *Node {
+	const eps = 1e-12
+	v := NewMatrix(1, 1)
+	for _, x := range p.Value.Data {
+		if x > 0 {
+			v.Data[0] -= x * math.Log(x+eps)
+		}
+	}
+	n := t.node(v, nil, p)
+	n.back = func() {
+		g := n.Grad.Data[0]
+		for i, x := range p.Value.Data {
+			if x > 0 {
+				p.Grad.Data[i] += g * (-math.Log(x+eps) - 1)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heterog/internal/cluster"
+	"heterog/internal/graph"
+	"heterog/internal/models"
+)
+
+func testModel(t *testing.T) (*graph.Graph, *cluster.Cluster, *CostModel) {
+	t.Helper()
+	g, err := models.VGG19(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed8()
+	cm, err := Profile(g, c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c, cm
+}
+
+func TestFitLeastSquaresRecoversLine(t *testing.T) {
+	// Plant y = 3 + 2x exactly; the fit must recover it.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	reg, err := fitLeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.a-3) > 1e-9 || math.Abs(reg.b-2) > 1e-9 {
+		t.Fatalf("fit a=%v b=%v, want 3, 2", reg.a, reg.b)
+	}
+}
+
+func TestFitLeastSquaresErrors(t *testing.T) {
+	if _, err := fitLeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample must error")
+	}
+	if _, err := fitLeastSquares([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("degenerate x must error")
+	}
+}
+
+func TestOpTimeMonotoneInBatch(t *testing.T) {
+	g, c, cm := testModel(t)
+	for _, op := range g.Ops {
+		if op.Kind == graph.KindNoOp {
+			continue
+		}
+		for _, dev := range []int{0, 2, 6} {
+			lo := cm.OpTime(op, dev, 0.125)
+			hi := cm.OpTime(op, dev, 1.0)
+			if lo < 0 || hi < 0 {
+				t.Fatalf("%s: negative predicted time", op.Name)
+			}
+			// Measurement noise can tilt the fitted slope slightly negative
+			// for overhead-dominated ops; meaningful work must still grow.
+			if op.ComputeScales() && hi < lo*0.95 {
+				t.Fatalf("%s on dev %d: time decreased with batch (%v -> %v)", op.Name, dev, lo, hi)
+			}
+		}
+	}
+	_ = c
+}
+
+func TestV100SpeedupWithinFig3bBand(t *testing.T) {
+	// The per-kind V100-vs-1080Ti spread drives Fig 3(b): dense kernels gain
+	// more than memory-bound ones, all within roughly [1.0, 2.0].
+	g, _, _ := testModel(t)
+	var convRatio, actRatio float64
+	var convN, actN int
+	for _, op := range g.Ops {
+		v := RawOpTime(op, cluster.TeslaV100, 1)
+		gt := RawOpTime(op, cluster.GTX1080Ti, 1)
+		if v <= 0 {
+			continue
+		}
+		switch op.Kind {
+		case graph.KindConv2D:
+			convRatio += gt / v
+			convN++
+		case graph.KindActivation:
+			actRatio += gt / v
+			actN++
+		}
+	}
+	convRatio /= float64(convN)
+	actRatio /= float64(actN)
+	if convRatio < 1.4 || convRatio > 2.1 {
+		t.Fatalf("conv V100 speedup %v outside [1.4,2.1]", convRatio)
+	}
+	if actRatio < 1.0 || actRatio > 1.4 {
+		t.Fatalf("memory-bound V100 speedup %v outside [1.0,1.4]", actRatio)
+	}
+	if convRatio <= actRatio {
+		t.Fatal("dense kernels must gain more from the V100 than memory-bound ops")
+	}
+}
+
+func TestTransferTimePredictions(t *testing.T) {
+	_, _, cm := testModel(t)
+	if cm.TransferTime(3, 3, 1<<20) != 0 {
+		t.Fatal("same-device transfer must be free")
+	}
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return cm.TransferTime(0, 4, lo) <= cm.TransferTime(0, 4, hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 64 MiB over a 50GbE path: roughly 10ms.
+	got := cm.TransferTime(0, 4, 64<<20)
+	if got < 5e-3 || got > 30e-3 {
+		t.Fatalf("64MiB transfer predicted %vs, implausible", got)
+	}
+}
+
+func TestRegressionTracksGroundTruth(t *testing.T) {
+	// Fitted predictions at full batch should stay within a few percent of
+	// the noise-free ground truth for compute-heavy ops.
+	g, _, cm := testModel(t)
+	for _, op := range g.Ops {
+		if op.FLOPs < 1e9 {
+			continue
+		}
+		truth := RawOpTime(op, cluster.TeslaV100, 1)
+		pred := cm.OpTime(op, 0, 1)
+		if math.Abs(pred-truth)/truth > 0.15 {
+			t.Fatalf("%s: prediction %v vs truth %v (>15%% off)", op.Name, pred, truth)
+		}
+	}
+}
+
+func TestSyntheticOpTime(t *testing.T) {
+	_, _, cm := testModel(t)
+	op := &graph.Op{Kind: graph.KindConcat, OutputBytes: 256 << 20, BatchDim: true}
+	full := cm.SyntheticOpTime(op, 0, 1)
+	half := cm.SyntheticOpTime(op, 0, 0.5)
+	if full <= half {
+		t.Fatal("synthetic time must grow with the batch fraction")
+	}
+	if full <= 0 {
+		t.Fatal("synthetic time must be positive")
+	}
+}
+
+func TestAvgOpTime(t *testing.T) {
+	g, _, cm := testModel(t)
+	op := g.Ops[2]
+	avg := cm.AvgOpTime(op)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for dev := 0; dev < 8; dev++ {
+		v := cm.OpTime(op, dev, 1)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if avg < lo || avg > hi {
+		t.Fatalf("average %v outside [min %v, max %v]", avg, lo, hi)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	g, _, _ := testModel(t)
+	c := cluster.Testbed8()
+	a, err := Profile(g, c, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(g, c, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.Ops {
+		if a.OpTime(op, 0, 1) != b.OpTime(op, 0, 1) {
+			t.Fatal("same seed must reproduce identical cost models")
+		}
+	}
+	d, err := Profile(g, c, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, op := range g.Ops {
+		if a.OpTime(op, 0, 1) != d.OpTime(op, 0, 1) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should perturb measurements")
+	}
+}
+
+func TestKernelSaturationPenalizesSmallOps(t *testing.T) {
+	big := &graph.Op{Kind: graph.KindConv2D, FLOPs: 100e9, BatchDim: true}
+	small := &graph.Op{Kind: graph.KindConv2D, FLOPs: 0.1e9, BatchDim: true}
+	bigEff := big.FLOPs / (RawOpTime(big, cluster.GTX1080Ti, 1) - 0)
+	smallEff := small.FLOPs / (RawOpTime(small, cluster.GTX1080Ti, 1) - 0)
+	if smallEff >= bigEff {
+		t.Fatal("small kernels must achieve lower effective throughput")
+	}
+}

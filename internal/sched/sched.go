@@ -1,0 +1,57 @@
+// Package sched implements Part-II of the strategy framework: execution-order
+// scheduling of the distributed training graph. It computes HEFT-style upward
+// ranks — rank(o) = p(o) + max over successors of rank — and exposes them as
+// per-op priorities for list scheduling, where every GPU runs at most one
+// computation op and every link carries at most one transfer at a time. The
+// appendix worst-case instance generator lives here too.
+package sched
+
+import (
+	"heterog/internal/compiler"
+)
+
+// Ranks computes the upward rank of every dist op:
+//
+//	rank(o) = p(o) + max_{s in succ(o)} rank(s)
+//
+// indexed by DistOp.ID. Higher rank means schedule earlier.
+func Ranks(dg *compiler.DistGraph) []float64 {
+	order := dg.TopoOrder()
+	succ := dg.Successors()
+	ranks := make([]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		op := order[i]
+		best := 0.0
+		for _, s := range succ[op.ID] {
+			if r := ranks[s.ID]; r > best {
+				best = r
+			}
+		}
+		ranks[op.ID] = op.Time + best
+	}
+	return ranks
+}
+
+// FIFO returns priorities reproducing TensorFlow's default first-in-first-out
+// execution: every op gets priority by reverse insertion order, so earlier-
+// created ops win ties and the ready queues behave like FIFO queues.
+func FIFO(dg *compiler.DistGraph) []float64 {
+	pr := make([]float64, len(dg.Ops))
+	for _, op := range dg.Ops {
+		pr[op.ID] = -float64(op.ID)
+	}
+	return pr
+}
+
+// LowerBound returns a makespan lower bound for the distributed graph:
+// max(critical path, busiest unit's total work). The true optimum T* is at
+// least this, so Theorem 1 (T_LS <= (M+M^2) T*) can be checked against it.
+func LowerBound(dg *compiler.DistGraph) float64 {
+	lb := dg.CriticalPath()
+	for _, w := range dg.TotalWorkOn() {
+		if w > lb {
+			lb = w
+		}
+	}
+	return lb
+}

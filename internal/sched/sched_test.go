@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+	"heterog/internal/sim"
+)
+
+func randomDist(rng *rand.Rand, devices, n int) *compiler.DistGraph {
+	dg := &compiler.DistGraph{
+		Source:          graph.New("rand", 1),
+		Cluster:         cluster.Homogeneous(devices, cluster.GTX1080Ti),
+		PersistentBytes: make([]int64, devices),
+	}
+	for i := 0; i < n; i++ {
+		var ins []*compiler.DistOp
+		for j := 0; j < i; j++ {
+			if rng.Intn(5) == 0 {
+				ins = append(ins, dg.Ops[j])
+			}
+		}
+		dg.Ops = append(dg.Ops, &compiler.DistOp{
+			ID: i, Name: "r", Kind: graph.KindElementwise,
+			Units: []int{rng.Intn(devices)}, Time: 0.05 + rng.Float64(),
+			MemDevice: -1, Inputs: ins,
+		})
+	}
+	return dg
+}
+
+func TestRanksDefinition(t *testing.T) {
+	// rank(o) = p(o) + max over successors — verified on random DAGs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dg := randomDist(rng, 1+rng.Intn(4), 2+rng.Intn(40))
+		ranks := Ranks(dg)
+		succ := dg.Successors()
+		for _, op := range dg.Ops {
+			best := 0.0
+			for _, s := range succ[op.ID] {
+				if ranks[s.ID] > best {
+					best = ranks[s.ID]
+				}
+			}
+			if diff := ranks[op.ID] - (op.Time + best); diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRanksDecreaseAlongEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dg := randomDist(rng, 3, 50)
+	ranks := Ranks(dg)
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			if ranks[in.ID] <= ranks[op.ID] {
+				t.Fatal("a predecessor's rank must exceed its successor's")
+			}
+		}
+	}
+}
+
+func TestFIFOPreservesInsertionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dg := randomDist(rng, 2, 20)
+	pr := FIFO(dg)
+	for i := 1; i < len(pr); i++ {
+		if pr[i] >= pr[i-1] {
+			t.Fatal("FIFO priorities must strictly decrease with op ID")
+		}
+	}
+}
+
+func TestTheorem1BoundOnRandomGraphs(t *testing.T) {
+	// T_LS <= (number of units) * T* since T* >= total work / units and
+	// T_LS <= total work; checked against the LowerBound proxy for T*.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		devices := 2 + rng.Intn(4)
+		dg := randomDist(rng, devices, 5+rng.Intn(60))
+		res, err := sim.Run(dg, Ranks(dg))
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(dg)
+		units := float64(dg.NumUnits())
+		return res.Makespan <= units*lb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundIsALowerBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dg := randomDist(rng, 1+rng.Intn(5), 2+rng.Intn(50))
+		res, err := sim.Run(dg, Ranks(dg))
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= LowerBound(dg)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorstCaseConstruction(t *testing.T) {
+	const h, k = 4, 10
+	dg, optimal, err := WorstCase(h, k, 1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (h-1) chains of k*h ops plus k independent ops.
+	want := (h-1)*k*h + k
+	if len(dg.Ops) != want {
+		t.Fatalf("%d ops, want %d", len(dg.Ops), want)
+	}
+	if optimal <= float64(k)*1.0-1e-9 {
+		t.Fatalf("analytic optimum %v must exceed k*p", optimal)
+	}
+}
+
+func TestWorstCaseErrors(t *testing.T) {
+	if _, _, err := WorstCase(1, 5, 1, 1e-6); err == nil {
+		t.Fatal("h < 2 must error")
+	}
+	if _, _, err := WorstCase(3, 0, 1, 1e-6); err == nil {
+		t.Fatal("k < 1 must error")
+	}
+}
+
+func TestTheorem2WorstCaseRatioGrowsWithH(t *testing.T) {
+	// The adversarial instance must push T_LS/T* well above 1 and grow with
+	// the device count (approaching H in the limit of the appendix proof).
+	prev := 1.0
+	for _, h := range []int{3, 5, 7} {
+		dg, optimal, err := WorstCase(h, 30, 1.0, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(dg, AdversarialRanks(dg, h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Makespan / optimal
+		if ratio < float64(h)/3 {
+			t.Fatalf("h=%d: adversarial ratio %.2f too small (want >= h/3)", h, ratio)
+		}
+		if ratio > float64(h)+1 {
+			t.Fatalf("h=%d: ratio %.2f exceeds the Theorem-1 bound", h, ratio)
+		}
+		if ratio < prev {
+			t.Fatalf("h=%d: ratio %.2f did not grow (previous %.2f)", h, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestWorstCaseGapIsInherentToGreedyLS(t *testing.T) {
+	// The appendix's optimal schedule idles devices to stagger the chains —
+	// something no non-idling list schedule can do. Any greedy priority
+	// order therefore stays well above T* on this instance while still
+	// respecting the Theorem-1 upper bound.
+	const h, k = 4, 30
+	dg, optimal, err := WorstCase(h, k, 1.0, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pr := range map[string][]float64{
+		"adversarial": AdversarialRanks(dg, h),
+		"ranks":       Ranks(dg),
+		"fifo":        FIFO(dg),
+	} {
+		res, err := sim.Run(dg, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Makespan / optimal
+		if ratio < 1.5 {
+			t.Fatalf("%s: greedy LS reached %.2fx of T*; the instance should defeat any non-idling order", name, ratio)
+		}
+		if ratio > float64(h)+1 {
+			t.Fatalf("%s: ratio %.2f exceeds the Theorem-1 bound", name, ratio)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+)
+
+// WorstCase builds the appendix's adversarial instance for H devices:
+// H-1 chains of k*H operations each, where chain j's operation at segment
+// position j costs p and the rest cost e (e << p), the i-th op of a chain
+// runs on device (i mod H), plus k independent p-cost operations on device
+// H-1. The optimal schedule pipelines the chains so every device streams its
+// p-ops back-to-back, giving T* ~= k(p + (H-1)e), while list scheduling with
+// rank ties broken badly serializes the chains: T_LS ~= kHp, a ratio of ~H.
+//
+// OptimalMakespan returns the analytic optimum from the appendix.
+func WorstCase(h, k int, p, e float64) (*compiler.DistGraph, float64, error) {
+	if h < 2 || k < 1 {
+		return nil, 0, fmt.Errorf("need h >= 2 and k >= 1, got h=%d k=%d", h, k)
+	}
+	c := cluster.Homogeneous(h, cluster.GTX1080Ti)
+	dg := &compiler.DistGraph{
+		Source:          graph.New("worst-case", 1),
+		Cluster:         c,
+		PersistentBytes: make([]int64, h),
+	}
+	id := 0
+	add := func(name string, dev int, t float64, inputs ...*compiler.DistOp) *compiler.DistOp {
+		op := &compiler.DistOp{
+			ID: id, Name: name, Kind: graph.KindElementwise,
+			Units: []int{dev}, Time: t, MemDevice: dev, Inputs: inputs,
+		}
+		id++
+		dg.Ops = append(dg.Ops, op)
+		return op
+	}
+	for chain := 1; chain <= h-1; chain++ {
+		var prev *compiler.DistOp
+		for i := 0; i < k*h; i++ {
+			dev := i % h
+			t := e
+			if dev == chain%h {
+				t = p
+			}
+			var ins []*compiler.DistOp
+			if prev != nil {
+				ins = append(ins, prev)
+			}
+			prev = add(fmt.Sprintf("c%d_%d", chain, i), dev, t, ins...)
+		}
+	}
+	for i := 0; i < k; i++ {
+		add(fmt.Sprintf("ind%d", i), h-1, p)
+	}
+	optimal := float64(k)*(p+float64(h-1)*e) + float64(h-2)*e
+	return dg, optimal, nil
+}
+
+// AdversarialRanks returns priorities that are valid upward ranks for the
+// worst-case instance but break rank ties in the order the appendix proof
+// uses: on each device, chains are served in an order that maximizes the
+// stall before the next segment can start. Ties between equal ranks are
+// resolved by adding a chain-dependent epsilon bias too small to reorder
+// unequal ranks.
+func AdversarialRanks(dg *compiler.DistGraph, h int) []float64 {
+	ranks := Ranks(dg)
+	// Bias: later ops in a chain segment get a tiny preference inversion by
+	// chain index, replicating the proof's tie-breaking. The bias must stay
+	// below the smallest nonzero rank difference.
+	minDiff := minPositiveDiff(ranks)
+	eps := minDiff / float64(4*len(dg.Ops)+4)
+	out := make([]float64, len(ranks))
+	for _, op := range dg.Ops {
+		var chain int
+		fmt.Sscanf(op.Name, "c%d_", &chain)
+		out[op.ID] = ranks[op.ID] + eps*float64(chain%h)
+	}
+	return out
+}
+
+func minPositiveDiff(ranks []float64) float64 {
+	vals := append([]float64(nil), ranks...)
+	min := -1.0
+	for i := range vals {
+		for j := range vals {
+			d := vals[i] - vals[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-15 && (min < 0 || d < min) {
+				min = d
+			}
+		}
+	}
+	if min < 0 {
+		return 1
+	}
+	return min
+}

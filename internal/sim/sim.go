@@ -1,0 +1,309 @@
+// Package sim is the discrete-event training simulator. Mirroring the paper's
+// Rust simulator, it maintains a priority ready queue per execution unit
+// (GPU, NIC ingress/egress lane, PCIe bus, NCCL), dispatches the highest-
+// priority ready op whose execution units are all free whenever anything
+// idles, tracks memory allocation and release by reference counting, and
+// reports the per-iteration time, per-unit utilization, compute/communication
+// breakdown and peak memory per device (flagging OOM).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"heterog/internal/compiler"
+)
+
+// Result summarizes one simulated training run.
+type Result struct {
+	// Makespan is the end-to-end execution time in seconds.
+	Makespan float64
+	// BusyTime[u] is the total occupied time of each unit.
+	BusyTime []float64
+	// PeakMem[d] is the peak memory in bytes on each GPU, including
+	// persistent parameter/optimizer state.
+	PeakMem []int64
+	// OOMDevices lists GPUs whose peak memory exceeded capacity.
+	OOMDevices []int
+	// ComputeTime is the busiest GPU's occupied time; CommTime is the
+	// busiest communication unit's occupied time (NIC lane, PCIe or NCCL).
+	// Their sum can exceed Makespan when computation and communication
+	// overlap.
+	ComputeTime, CommTime float64
+	// Starts and Finishes record per-op times indexed by dense DistOp ID.
+	Starts, Finishes []float64
+}
+
+// OOM reports whether any device ran out of memory.
+func (r *Result) OOM() bool { return len(r.OOMDevices) > 0 }
+
+// opItem is a ready-queue entry ordered by descending priority. Multi-unit
+// ops are enqueued on every unit they occupy and removed lazily once started.
+type opItem struct {
+	op       *compiler.DistOp
+	priority float64
+	seq      int // arrival order: FIFO tie-break
+	started  bool
+}
+
+type readyQueue []*opItem
+
+func (q readyQueue) Len() int { return len(q) }
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *readyQueue) Push(x any)   { *q = append(*q, x.(*opItem)) }
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// completion is a scheduled op-finish event.
+type completion struct {
+	time float64
+	op   *compiler.DistOp
+	seq  int
+}
+
+type eventHeap []completion
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(completion)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// blockedScanDepth bounds how many blocked multi-unit entries a unit skips
+// past when looking for startable work; beyond this the unit idles until the
+// next event, trading a sliver of greediness for linear-time dispatch.
+const blockedScanDepth = 64
+
+// Run simulates the distributed graph under the given per-op priorities
+// (use sched.Ranks for HeteroG's order, sched.FIFO for TensorFlow's
+// default), indexed by dense DistOp ID. Dispatch is greedy: whenever a unit
+// frees, it starts the highest-priority ready op all of whose units are idle.
+func Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+	n := len(dg.Ops)
+	if len(priorities) < n {
+		return nil, fmt.Errorf("priorities cover %d of %d ops", len(priorities), n)
+	}
+	numUnits := dg.NumUnits()
+	numGPUs := dg.Cluster.NumDevices()
+
+	res := &Result{
+		BusyTime: make([]float64, numUnits),
+		PeakMem:  make([]int64, numGPUs),
+		Starts:   make([]float64, n),
+		Finishes: make([]float64, n),
+	}
+
+	succ := dg.Successors()
+	indeg := make([]int, n)
+	for _, op := range dg.Ops {
+		indeg[op.ID] = len(op.Inputs)
+	}
+
+	// Memory: persistent baseline plus refcounted transient buffers.
+	mem := make([]int64, numGPUs)
+	copy(mem, dg.PersistentBytes)
+	copy(res.PeakMem, mem)
+	refs := make([]int, n)
+	for _, op := range dg.Ops {
+		refs[op.ID] = len(succ[op.ID])
+	}
+	alloc := func(op *compiler.DistOp) {
+		if op.MemDevice < 0 || op.OutBytes == 0 {
+			return
+		}
+		mem[op.MemDevice] += op.OutBytes
+		if mem[op.MemDevice] > res.PeakMem[op.MemDevice] {
+			res.PeakMem[op.MemDevice] = mem[op.MemDevice]
+		}
+	}
+	release := func(op *compiler.DistOp) {
+		if op.MemDevice >= 0 && op.OutBytes > 0 {
+			mem[op.MemDevice] -= op.OutBytes
+		}
+	}
+
+	queues := make([]readyQueue, numUnits)
+	busy := make([]bool, numUnits)
+	seq := 0
+	enqueue := func(op *compiler.DistOp) {
+		it := &opItem{op: op, priority: priorities[op.ID], seq: seq}
+		seq++
+		for _, u := range op.Units {
+			heap.Push(&queues[u], it)
+		}
+	}
+	canStart := func(op *compiler.DistOp) bool {
+		for _, u := range op.Units {
+			if busy[u] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var events eventHeap
+	evSeq := 0
+	start := func(it *opItem, now float64) {
+		it.started = true
+		op := it.op
+		for _, u := range op.Units {
+			busy[u] = true
+			res.BusyTime[u] += op.Time
+		}
+		res.Starts[op.ID] = now
+		alloc(op)
+		heap.Push(&events, completion{time: now + op.Time, op: op, seq: evSeq})
+		evSeq++
+	}
+	// dispatchUnit starts ops from one unit's queue while possible. Blocked
+	// multi-unit heads are skipped (bounded) and retained.
+	var skipped []*opItem
+	dispatchUnit := func(u int, now float64) {
+		if busy[u] {
+			return
+		}
+		skipped = skipped[:0]
+		for queues[u].Len() > 0 && len(skipped) < blockedScanDepth {
+			it := heap.Pop(&queues[u]).(*opItem)
+			if it.started {
+				continue
+			}
+			if canStart(it.op) {
+				start(it, now)
+				if busy[u] {
+					break
+				}
+				continue
+			}
+			skipped = append(skipped, it)
+		}
+		for _, it := range skipped {
+			heap.Push(&queues[u], it)
+		}
+	}
+	dispatchAll := func(now float64) {
+		for u := 0; u < numUnits; u++ {
+			dispatchUnit(u, now)
+		}
+	}
+
+	for _, op := range dg.Ops {
+		if indeg[op.ID] == 0 {
+			enqueue(op)
+		}
+	}
+	now := 0.0
+	dispatchAll(now)
+	done := 0
+	complete := func(op *compiler.DistOp, now float64) {
+		res.Finishes[op.ID] = now
+		for _, u := range op.Units {
+			busy[u] = false
+		}
+		done++
+		for _, in := range op.Inputs {
+			refs[in.ID]--
+			if refs[in.ID] == 0 {
+				release(in)
+			}
+		}
+		if refs[op.ID] == 0 {
+			release(op)
+		}
+		for _, s := range succ[op.ID] {
+			indeg[s.ID]--
+			if indeg[s.ID] == 0 {
+				enqueue(s)
+			}
+		}
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(completion)
+		now = ev.time
+		complete(ev.op, now)
+		// Drain same-time completions before dispatching so simultaneous
+		// frees are visible together.
+		for events.Len() > 0 && events[0].time == now {
+			ev2 := heap.Pop(&events).(completion)
+			complete(ev2.op, now)
+		}
+		dispatchAll(now)
+	}
+	if done != n {
+		return nil, fmt.Errorf("deadlock: executed %d of %d ops (cyclic or unreachable deps)", done, n)
+	}
+	res.Makespan = now
+	for u := 0; u < numUnits; u++ {
+		bt := res.BusyTime[u]
+		if dg.UnitKindOf(u) == compiler.UnitGPU {
+			if bt > res.ComputeTime {
+				res.ComputeTime = bt
+			}
+		} else if bt > res.CommTime {
+			res.CommTime = bt
+		}
+	}
+	for d := 0; d < numGPUs; d++ {
+		if res.PeakMem[d] > dg.Cluster.Devices[d].UsableMemBytes() {
+			res.OOMDevices = append(res.OOMDevices, d)
+		}
+	}
+	return res, nil
+}
+
+// Utilization returns busy-time / makespan per unit.
+func (r *Result) Utilization() []float64 {
+	u := make([]float64, len(r.BusyTime))
+	if r.Makespan <= 0 {
+		return u
+	}
+	for i, b := range r.BusyTime {
+		u[i] = b / r.Makespan
+	}
+	return u
+}
+
+// Validate cross-checks a result against its graph: the makespan must be at
+// least the critical path and at least every unit's total work (up to float
+// tolerance). Used by tests and the agent's sanity layer.
+func Validate(dg *compiler.DistGraph, r *Result) error {
+	const tol = 1e-9
+	if cp := dg.CriticalPath(); r.Makespan+tol < cp {
+		return fmt.Errorf("makespan %.9f below critical path %.9f", r.Makespan, cp)
+	}
+	for u, w := range dg.TotalWorkOn() {
+		if r.Makespan+tol < w {
+			return fmt.Errorf("makespan %.9f below unit %d work %.9f", r.Makespan, u, w)
+		}
+	}
+	for id, fin := range r.Finishes {
+		if math.IsNaN(fin) || fin < 0 {
+			return fmt.Errorf("op %d has invalid finish %.9f", id, fin)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+)
+
+// toy builds a DistGraph on a small homogeneous cluster directly.
+type toy struct {
+	dg *compiler.DistGraph
+	id int
+}
+
+func newToy(devices int) *toy {
+	return &toy{dg: &compiler.DistGraph{
+		Source:          graph.New("toy", 1),
+		Cluster:         cluster.Homogeneous(devices, cluster.GTX1080Ti),
+		PersistentBytes: make([]int64, devices),
+	}}
+}
+
+func (ty *toy) op(dev int, dur float64, mem int64, inputs ...*compiler.DistOp) *compiler.DistOp {
+	op := &compiler.DistOp{
+		ID: ty.id, Name: "t", Kind: graph.KindElementwise,
+		Units: []int{dev}, Time: dur, OutBytes: mem, MemDevice: dev, Inputs: inputs,
+	}
+	ty.id++
+	ty.dg.Ops = append(ty.dg.Ops, op)
+	return op
+}
+
+func uniformPr(n int) []float64 { return make([]float64, n) }
+
+func TestSingleOp(t *testing.T) {
+	ty := newToy(1)
+	ty.op(0, 2.5, 0)
+	res, err := Run(ty.dg, uniformPr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2.5 {
+		t.Fatalf("makespan %v, want 2.5", res.Makespan)
+	}
+	if res.BusyTime[0] != 2.5 {
+		t.Fatalf("busy %v", res.BusyTime[0])
+	}
+}
+
+func TestChainSerializes(t *testing.T) {
+	ty := newToy(2)
+	a := ty.op(0, 1, 0)
+	b := ty.op(1, 2, 0, a)
+	ty.op(0, 3, 0, b)
+	res, err := Run(ty.dg, uniformPr(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 6 {
+		t.Fatalf("chain makespan %v, want 6", res.Makespan)
+	}
+}
+
+func TestDeviceExclusivity(t *testing.T) {
+	// Two independent ops on one device must serialize.
+	ty := newToy(1)
+	ty.op(0, 1, 0)
+	ty.op(0, 1, 0)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 2 {
+		t.Fatalf("same-device ops overlapped: makespan %v", res.Makespan)
+	}
+}
+
+func TestParallelAcrossDevices(t *testing.T) {
+	ty := newToy(2)
+	ty.op(0, 1, 0)
+	ty.op(1, 1, 0)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 1 {
+		t.Fatalf("independent ops on separate devices should overlap: %v", res.Makespan)
+	}
+}
+
+func TestPriorityOrdersReadyQueue(t *testing.T) {
+	// Two ready ops; the higher-priority one gates a long tail, so running
+	// it first shortens the makespan.
+	build := func() *toy {
+		ty := newToy(2)
+		short := ty.op(0, 1, 0) // id 0
+		long := ty.op(0, 1, 0)  // id 1: feeds a 5s op on device 1
+		ty.op(1, 5, 0, long)    // id 2
+		_ = short
+		return ty
+	}
+	good := []float64{0, 10, 10} // run the gating op first
+	bad := []float64{10, 0, 10}
+	ty := build()
+	resGood, err := Run(ty.dg, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ty = build()
+	resBad, err := Run(ty.dg, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGood.Makespan != 6 || resBad.Makespan != 7 {
+		t.Fatalf("priority not respected: good %v (want 6), bad %v (want 7)", resGood.Makespan, resBad.Makespan)
+	}
+}
+
+func TestMultiUnitExclusivity(t *testing.T) {
+	// An op holding units {0,1} cannot overlap ops on either unit.
+	ty := newToy(2)
+	both := &compiler.DistOp{ID: ty.id, Name: "both", Kind: graph.KindElementwise, Units: []int{0, 1}, Time: 2, MemDevice: -1}
+	ty.id++
+	ty.dg.Ops = append(ty.dg.Ops, both)
+	ty.op(0, 1, 0)
+	ty.op(1, 1, 0)
+	res, err := Run(ty.dg, []float64{10, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-unit op first (2s), then the singles in parallel (1s).
+	if res.Makespan != 3 {
+		t.Fatalf("multi-unit exclusivity broken: makespan %v, want 3", res.Makespan)
+	}
+}
+
+func TestMemoryRefcounting(t *testing.T) {
+	// a (1GB) consumed by b and c; a's buffer must persist until the later
+	// consumer finishes, then free before d allocates.
+	ty := newToy(1)
+	a := ty.op(0, 1, 1<<30)
+	b := ty.op(0, 1, 0, a)
+	c := ty.op(0, 1, 0, a)
+	ty.op(0, 1, 1<<30, b, c)
+	res, err := Run(ty.dg, uniformPr(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak: a's 1GB while b/c run; d's 1GB after a freed — never 2GB.
+	if res.PeakMem[0] != 1<<30 {
+		t.Fatalf("peak %d, want 1GB (refcount frees a before d)", res.PeakMem[0])
+	}
+}
+
+func TestUnconsumedOutputFreedImmediately(t *testing.T) {
+	ty := newToy(1)
+	ty.op(0, 1, 1<<30)
+	ty.op(0, 1, 1<<30)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakMem[0] != 1<<30 {
+		t.Fatalf("leaf outputs must free at completion; peak %d", res.PeakMem[0])
+	}
+}
+
+func TestOOMDetection(t *testing.T) {
+	ty := newToy(1)
+	usable := ty.dg.Cluster.Devices[0].UsableMemBytes()
+	ty.op(0, 1, usable+1)
+	res, err := Run(ty.dg, uniformPr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM() || len(res.OOMDevices) != 1 || res.OOMDevices[0] != 0 {
+		t.Fatalf("OOM not detected: %+v", res.OOMDevices)
+	}
+}
+
+func TestPersistentBaselineCountsTowardPeak(t *testing.T) {
+	ty := newToy(1)
+	ty.dg.PersistentBytes[0] = 5 << 30
+	ty.op(0, 1, 1<<30)
+	res, err := Run(ty.dg, uniformPr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakMem[0] != 6<<30 {
+		t.Fatalf("peak %d, want persistent+transient 6GB", res.PeakMem[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ty := randomToy(rng, 4, 60)
+	pr := make([]float64, len(ty.dg.Ops))
+	for i := range pr {
+		pr[i] = rng.Float64()
+	}
+	r1, err := Run(ty.dg, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(ty.dg, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatal("simulation must be deterministic")
+	}
+	for i := range r1.Starts {
+		if r1.Starts[i] != r2.Starts[i] {
+			t.Fatal("per-op schedules must be deterministic")
+		}
+	}
+}
+
+func randomToy(rng *rand.Rand, devices, n int) *toy {
+	ty := newToy(devices)
+	for i := 0; i < n; i++ {
+		var ins []*compiler.DistOp
+		for j := 0; j < i; j++ {
+			if rng.Intn(6) == 0 {
+				ins = append(ins, ty.dg.Ops[j])
+			}
+		}
+		ty.op(rng.Intn(devices), 0.1+rng.Float64(), int64(rng.Intn(1<<20)), ins...)
+	}
+	return ty
+}
+
+func TestRandomGraphInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := randomToy(rng, 1+rng.Intn(5), 2+rng.Intn(50))
+		pr := make([]float64, len(ty.dg.Ops))
+		for i := range pr {
+			pr[i] = rng.Float64()
+		}
+		res, err := Run(ty.dg, pr)
+		if err != nil {
+			return false
+		}
+		// Makespan >= critical path and >= every unit's work; every op's
+		// start respects its dependencies; per-unit intervals never overlap.
+		if Validate(ty.dg, res) != nil {
+			return false
+		}
+		for _, op := range ty.dg.Ops {
+			for _, in := range op.Inputs {
+				if res.Starts[op.ID] < res.Finishes[in.ID]-1e-12 {
+					return false
+				}
+			}
+		}
+		type interval struct{ s, f float64 }
+		perUnit := map[int][]interval{}
+		for _, op := range ty.dg.Ops {
+			for _, u := range op.Units {
+				perUnit[u] = append(perUnit[u], interval{res.Starts[op.ID], res.Finishes[op.ID]})
+			}
+		}
+		for _, ivs := range perUnit {
+			for i := range ivs {
+				for j := i + 1; j < len(ivs); j++ {
+					a, b := ivs[i], ivs[j]
+					if a.s < b.f-1e-12 && b.s < a.f-1e-12 {
+						return false // overlap
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNeverIdlesWithWork(t *testing.T) {
+	// With one device and independent ops, busy time == makespan.
+	ty := newToy(1)
+	for i := 0; i < 10; i++ {
+		ty.op(0, 0.5, 0)
+	}
+	res, err := Run(ty.dg, uniformPr(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-5) > 1e-12 {
+		t.Fatalf("device idled: makespan %v, want 5", res.Makespan)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	ty := newToy(2)
+	ty.op(0, 2, 0)
+	ty.op(1, 1, 0)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	if u[0] != 1.0 || math.Abs(u[1]-0.5) > 1e-12 {
+		t.Fatalf("utilization %v", u[:2])
+	}
+}
+
+func TestMissingPrioritiesError(t *testing.T) {
+	ty := newToy(1)
+	ty.op(0, 1, 0)
+	if _, err := Run(ty.dg, nil); err == nil {
+		t.Fatal("expected error for missing priorities")
+	}
+}

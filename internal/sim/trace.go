@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"heterog/internal/compiler"
+)
+
+// traceEvent is one Chrome trace-event-format record ("X" complete events).
+type traceEvent struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TsMicros float64           `json:"ts"`
+	DurUs    float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a simulated schedule in the Chrome trace-event
+// JSON format (open in chrome://tracing or Perfetto): one track per
+// execution unit, one slice per op occupancy. Multi-unit ops appear on every
+// unit they hold, mirroring how they block those resources.
+func WriteChromeTrace(w io.Writer, dg *compiler.DistGraph, res *Result) error {
+	if len(res.Starts) < len(dg.Ops) {
+		return fmt.Errorf("sim: result does not cover the graph (%d starts for %d ops)", len(res.Starts), len(dg.Ops))
+	}
+	var events []traceEvent
+	for _, op := range dg.Ops {
+		for _, u := range op.Units {
+			cat := "compute"
+			switch dg.UnitKindOf(u) {
+			case compiler.UnitComm:
+				cat = "communication"
+			case compiler.UnitNCCL:
+				cat = "nccl"
+			}
+			events = append(events, traceEvent{
+				Name: op.Name, Category: cat, Phase: "X",
+				TsMicros: res.Starts[op.ID] * 1e6,
+				DurUs:    op.Time * 1e6,
+				PID:      1, TID: u,
+				Args: map[string]string{
+					"kind": op.Kind.String(),
+					"iter": fmt.Sprintf("%d", op.Iter),
+				},
+			})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].TID != events[b].TID {
+			return events[a].TID < events[b].TID
+		}
+		return events[a].TsMicros < events[b].TsMicros
+	})
+	// Track-name metadata records so the viewer labels units meaningfully.
+	type meta struct {
+		Name  string            `json:"name"`
+		Phase string            `json:"ph"`
+		PID   int               `json:"pid"`
+		TID   int               `json:"tid"`
+		Args  map[string]string `json:"args"`
+	}
+	var metas []meta
+	for u := 0; u < dg.NumUnits(); u++ {
+		label := fmt.Sprintf("comm-%d", u)
+		switch dg.UnitKindOf(u) {
+		case compiler.UnitGPU:
+			label = fmt.Sprintf("GPU%d (%s)", u, dg.Cluster.Devices[u].Model.Name)
+		case compiler.UnitNCCL:
+			label = "NCCL"
+		}
+		metas = append(metas, meta{
+			Name: "thread_name", Phase: "M", PID: 1, TID: u,
+			Args: map[string]string{"name": label},
+		})
+	}
+	out := struct {
+		TraceEvents []any `json:"traceEvents"`
+	}{}
+	for _, m := range metas {
+		out.TraceEvents = append(out.TraceEvents, m)
+	}
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// GanttSummary renders a compact per-unit utilization digest for logs.
+func GanttSummary(dg *compiler.DistGraph, res *Result) string {
+	util := res.Utilization()
+	var out string
+	for u := 0; u < dg.NumUnits(); u++ {
+		if res.BusyTime[u] == 0 {
+			continue
+		}
+		kind := "comm"
+		switch dg.UnitKindOf(u) {
+		case compiler.UnitGPU:
+			kind = "gpu"
+		case compiler.UnitNCCL:
+			kind = "nccl"
+		}
+		bars := int(util[u]*20 + 0.5)
+		out += fmt.Sprintf("%-5s unit %2d [%-20s] %5.1f%% busy %.3fs\n",
+			kind, u, bar(bars), 100*util[u], res.BusyTime[u])
+	}
+	return out
+}
+
+func bar(n int) string {
+	if n > 20 {
+		n = 20
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

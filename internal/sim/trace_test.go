@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	ty := newToy(2)
+	a := ty.op(0, 1, 0)
+	ty.op(1, 2, 0, a)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ty.dg, res); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	slices, metas := 0, 0
+	for _, e := range out.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+		case "M":
+			metas++
+		}
+	}
+	if slices != 2 {
+		t.Fatalf("%d slices, want 2", slices)
+	}
+	if metas != ty.dg.NumUnits() {
+		t.Fatalf("%d track metas, want %d", metas, ty.dg.NumUnits())
+	}
+}
+
+func TestWriteChromeTraceRejectsMismatch(t *testing.T) {
+	ty := newToy(1)
+	ty.op(0, 1, 0)
+	res := &Result{Starts: nil}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ty.dg, res); err == nil {
+		t.Fatal("mismatched result must fail")
+	}
+}
+
+func TestGanttSummary(t *testing.T) {
+	ty := newToy(2)
+	ty.op(0, 1, 0)
+	ty.op(1, 0.5, 0)
+	res, err := Run(ty.dg, uniformPr(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GanttSummary(ty.dg, res)
+	if !strings.Contains(s, "gpu") || !strings.Contains(s, "100.0%") {
+		t.Fatalf("unexpected summary:\n%s", s)
+	}
+}

@@ -1,0 +1,110 @@
+package strategy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// serialized is the on-disk JSON form of a strategy: the grouping's member
+// lists plus one decision per group. It is intentionally self-contained so a
+// plan produced by one process (heterog-train, heterog-bench) can be replayed
+// by another against the same graph.
+type serialized struct {
+	Version   int             `json:"version"`
+	NumOps    int             `json:"num_ops"`
+	Members   [][]int         `json:"members"`
+	Anchors   []int           `json:"anchors"`
+	Decisions []savedDecision `json:"decisions"`
+}
+
+type savedDecision struct {
+	Kind   string `json:"kind"`
+	Device int    `json:"device,omitempty"`
+}
+
+var kindNames = map[DecisionKind]string{
+	MP: "mp", DPEvenPS: "ev-ps", DPEvenAR: "ev-ar", DPPropPS: "cp-ps", DPPropAR: "cp-ar",
+}
+
+var kindByName = func() map[string]DecisionKind {
+	m := make(map[string]DecisionKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Save writes the strategy as JSON.
+func (s *Strategy) Save(w io.Writer) error {
+	if s.Grouping == nil {
+		return fmt.Errorf("strategy: cannot save a strategy without a grouping")
+	}
+	out := serialized{
+		Version: 1,
+		NumOps:  len(s.Grouping.GroupOf),
+		Members: s.Grouping.Members,
+		Anchors: s.Grouping.Anchors,
+	}
+	for _, d := range s.Decisions {
+		sd := savedDecision{Kind: kindNames[d.Kind]}
+		if d.Kind == MP {
+			sd.Device = d.Device
+		}
+		out.Decisions = append(out.Decisions, sd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a strategy saved by Save and validates it against the expected
+// op count of the graph it will be applied to.
+func Load(r io.Reader, numOps int) (*Strategy, error) {
+	var in serialized
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("strategy: decode: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("strategy: unsupported version %d", in.Version)
+	}
+	if in.NumOps != numOps {
+		return nil, fmt.Errorf("strategy: saved for a %d-op graph, target has %d ops", in.NumOps, numOps)
+	}
+	if len(in.Members) != len(in.Decisions) || len(in.Members) != len(in.Anchors) {
+		return nil, fmt.Errorf("strategy: inconsistent group counts (%d members, %d anchors, %d decisions)",
+			len(in.Members), len(in.Anchors), len(in.Decisions))
+	}
+	gr := &Grouping{
+		GroupOf: make([]int, numOps),
+		Members: in.Members,
+		Anchors: in.Anchors,
+	}
+	seen := make([]bool, numOps)
+	for gi, members := range in.Members {
+		for _, opID := range members {
+			if opID < 0 || opID >= numOps {
+				return nil, fmt.Errorf("strategy: op ID %d out of range", opID)
+			}
+			if seen[opID] {
+				return nil, fmt.Errorf("strategy: op %d appears in two groups", opID)
+			}
+			seen[opID] = true
+			gr.GroupOf[opID] = gi
+		}
+	}
+	for opID, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("strategy: op %d not covered by any group", opID)
+		}
+	}
+	st := &Strategy{Grouping: gr}
+	for _, sd := range in.Decisions {
+		kind, ok := kindByName[sd.Kind]
+		if !ok {
+			return nil, fmt.Errorf("strategy: unknown decision kind %q", sd.Kind)
+		}
+		st.Decisions = append(st.Decisions, Decision{Kind: kind, Device: sd.Device})
+	}
+	return st, nil
+}

@@ -1,0 +1,87 @@
+package strategy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func savedStrategy(t *testing.T) (*Strategy, int) {
+	t.Helper()
+	g := lineGraph(12)
+	gr, err := Group(g, constTimer{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Uniform(gr, Decision{Kind: DPPropAR})
+	s.Decisions[1] = Decision{Kind: MP, Device: 2}
+	s.Decisions[2] = Decision{Kind: DPEvenPS}
+	return s, g.NumOps()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, numOps := savedStrategy(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, numOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Grouping.NumGroups() != s.Grouping.NumGroups() {
+		t.Fatal("group count changed through serialization")
+	}
+	for i := range s.Decisions {
+		if loaded.Decisions[i] != s.Decisions[i] {
+			t.Fatalf("decision %d changed: %+v -> %+v", i, s.Decisions[i], loaded.Decisions[i])
+		}
+	}
+	for op := 0; op < numOps; op++ {
+		if loaded.Grouping.GroupOf[op] != s.Grouping.GroupOf[op] {
+			t.Fatalf("op %d regrouped", op)
+		}
+	}
+}
+
+func TestLoadRejectsWrongGraph(t *testing.T) {
+	s, numOps := savedStrategy(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, numOps+1); err == nil {
+		t.Fatal("op-count mismatch must fail")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json"), 4); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":9}`), 0); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+	// Duplicate op membership.
+	bad := `{"version":1,"num_ops":2,"members":[[0,0],[1]],"anchors":[0,1],"decisions":[{"kind":"ev-ar"},{"kind":"ev-ar"}]}`
+	if _, err := Load(strings.NewReader(bad), 2); err == nil {
+		t.Fatal("duplicate membership must fail")
+	}
+	// Missing op.
+	bad = `{"version":1,"num_ops":2,"members":[[0]],"anchors":[0],"decisions":[{"kind":"ev-ar"}]}`
+	if _, err := Load(strings.NewReader(bad), 2); err == nil {
+		t.Fatal("uncovered op must fail")
+	}
+	// Unknown decision kind.
+	bad = `{"version":1,"num_ops":1,"members":[[0]],"anchors":[0],"decisions":[{"kind":"warp"}]}`
+	if _, err := Load(strings.NewReader(bad), 1); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestSaveRequiresGrouping(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Strategy{}).Save(&buf); err == nil {
+		t.Fatal("nil grouping must fail")
+	}
+}
