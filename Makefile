@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# check is the tier-1 verification entry point: static analysis, build, the
+# full test suite, and the race detector over the concurrency-sensitive
+# packages (evaluation cache, batched rollouts, evaluator, simulator).
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with shared mutable state on the evaluation fast
+# path; running the whole tree under -race multiplies the RL/experiment test
+# time ~10x for no extra coverage, so it is scoped deliberately.
+race:
+	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/...
+
+# bench regenerates the evaluation fast-path numbers recorded in
+# BENCH_eval.json.
+bench:
+	$(GO) test -run '^$$' -bench 'EvaluateCold|EvaluateCached|RunEpisodes|SimReuse|SimPooledRun' -benchtime 2s -benchmem .

@@ -12,7 +12,14 @@ import (
 	"sync"
 	"testing"
 
+	"heterog/internal/agent"
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/core"
 	"heterog/internal/experiments"
+	"heterog/internal/models"
+	"heterog/internal/sched"
+	"heterog/internal/sim"
 	"heterog/internal/strategy"
 )
 
@@ -277,13 +284,162 @@ func BenchmarkPlannerVGG19(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorBert measures the simulator's throughput on the largest
-// standard workload (~10k dist-ops across 3 chained iterations).
-func BenchmarkSimulatorBert(b *testing.B) {
-	ev, err := lab().Evaluator("bert24", 48, 8)
+// --- Evaluation fast-path benchmarks (see BENCH_eval.json for the recorded
+// seed-vs-optimized baselines; DESIGN.md documents the fast path). ---
+
+func benchEvaluator(b *testing.B) *core.Evaluator {
+	b.Helper()
+	g, err := models.VGG19(64)
 	if err != nil {
 		b.Fatal(err)
 	}
+	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+func benchStrategy(b *testing.B, ev *core.Evaluator) *strategy.Strategy {
+	b.Helper()
+	gr, err := strategy.Group(ev.Graph, ev.Cost, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+}
+
+// BenchmarkEvaluateCold measures the full compile → rank → simulate pipeline
+// with memoization disabled — the per-episode cost every strategy paid before
+// the evaluation cache.
+func BenchmarkEvaluateCold(b *testing.B) {
+	ev := benchEvaluator(b)
+	ev.Cache = nil
+	s := benchStrategy(b, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateCached measures the cache-hit fast path: identical
+// resampled strategies short-circuit compile and simulation entirely.
+func BenchmarkEvaluateCached(b *testing.B) {
+	ev := benchEvaluator(b)
+	s := benchStrategy(b, ev)
+	if _, err := ev.Evaluate(s); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := ev.Cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+}
+
+// BenchmarkRunEpisodesSequential is the pre-batching episode loop: one
+// forward pass, one decode and one evaluation per episode, 8 episodes per op.
+func BenchmarkRunEpisodesSequential(b *testing.B) {
+	ev := benchEvaluator(b)
+	ev.Cache = nil // isolate rollout mechanics from memoization wins
+	a, err := agent.New(agent.DefaultConfig(4), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8; j++ {
+			if _, err := a.RunEpisode(ev, false, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
+
+// BenchmarkRunEpisodesParallel is the batched fast path: 8 strategies decoded
+// from one forward pass and evaluated concurrently over the worker pool.
+func BenchmarkRunEpisodesParallel(b *testing.B) {
+	ev := benchEvaluator(b)
+	ev.Cache = nil // isolate rollout mechanics from memoization wins
+	a, err := agent.New(agent.DefaultConfig(4), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.RunEpisodes(ev, 8, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
+
+// BenchmarkSimReuse measures a reused Simulator on a precompiled graph —
+// the zero-alloc steady state (compare the seed sim.Run baseline recorded in
+// BENCH_eval.json: 7188 allocs/op).
+func BenchmarkSimReuse(b *testing.B) {
+	ev := benchEvaluator(b)
+	s := benchStrategy(b, ev)
+	dg, err := compiler.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := sched.Ranks(dg)
+	sm := sim.NewSimulator()
+	if _, err := sm.Run(dg, pr); err != nil { // warm the buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Run(dg, pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimPooledRun measures the compatibility wrapper (pooled simulator
+// plus a cloned caller-owned Result).
+func BenchmarkSimPooledRun(b *testing.B) {
+	ev := benchEvaluator(b)
+	s := benchStrategy(b, ev)
+	dg, err := compiler.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := sched.Ranks(dg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(dg, pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorBert measures the simulator's throughput on the largest
+// standard workload (~10k dist-ops across 3 chained iterations).
+func BenchmarkSimulatorBert(b *testing.B) {
+	shared, err := lab().Evaluator("bert24", 48, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Work on an uncached twin: this benchmark measures compile+simulate
+	// throughput, which memoization would short-circuit after one iteration.
+	uncached := *shared
+	uncached.Cache = nil
+	ev := &uncached
 	be, err := lab().Baseline("bert24", 48, 8, strategy.DPEvenPS)
 	if err != nil {
 		b.Fatal(err)

@@ -25,8 +25,9 @@ func main() {
 	batch := flag.Int("batch", 192, "global batch size")
 	gpus := flag.Int("gpus", 8, "testbed size: 4, 8 or 12 GPUs")
 	seed := flag.Int64("seed", 1, "profiling seed")
-	verbose := flag.Bool("v", false, "print per-unit busy times")
+	verbose := flag.Bool("v", false, "print per-unit busy times and evaluation-cache stats")
 	episodes := flag.Int("episodes", 4, "RL episodes for the HeteroG plan")
+	batchEps := flag.Int("batch-episodes", 0, "rollout batch size per policy update (0 = default)")
 	savePath := flag.String("save", "", "write the HeteroG strategy as JSON to this path")
 	tracePath := flag.String("trace", "", "write the simulated schedule as a Chrome trace to this path")
 	flag.Parse()
@@ -73,7 +74,11 @@ func main() {
 		}
 	}
 
-	ag, err := agent.New(agent.DefaultConfig(c.NumDevices()), c.NumDevices())
+	acfg := agent.DefaultConfig(c.NumDevices())
+	if *batchEps > 0 {
+		acfg.BatchEpisodes = *batchEps
+	}
+	ag, err := agent.New(acfg, c.NumDevices())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,6 +87,11 @@ func main() {
 		log.Fatal(err)
 	}
 	report("HeteroG", plan)
+	if *verbose && ev.Cache != nil {
+		cs := ev.Cache.Stats()
+		fmt.Printf("eval cache: %d hits / %d misses / %d evictions (%d entries)\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Len)
+	}
 	for _, kind := range []strategy.DecisionKind{strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR} {
 		e, err := baselines.EvaluateDP(ev, kind)
 		if err != nil {

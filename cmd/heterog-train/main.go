@@ -24,6 +24,7 @@ func main() {
 	gpus := flag.Int("gpus", 8, "testbed size: 4, 8 or 12")
 	episodes := flag.Int("episodes", 40, "maximum episodes per graph")
 	patience := flag.Int("patience", 8, "stop a graph after this many episodes without improvement")
+	batchEps := flag.Int("batch-episodes", 0, "rollouts per forward pass / policy update (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	loadPath := flag.String("load", "", "warm-start from an agent checkpoint (Table 6's fine-tuning protocol)")
 	savePath := flag.String("save", "", "write the trained agent checkpoint to this path")
@@ -67,6 +68,9 @@ func main() {
 
 	cfg := agent.DefaultConfig(c.NumDevices())
 	cfg.Seed = *seed
+	if *batchEps > 0 {
+		cfg.BatchEpisodes = *batchEps
+	}
 	ag, err := agent.New(cfg, c.NumDevices())
 	if err != nil {
 		log.Fatal(err)

@@ -21,6 +21,11 @@ type Config struct {
 	Entropy float64
 	// LearningRate drives the Adam optimizer.
 	LearningRate float64
+	// BatchEpisodes is the rollout batch size k used by Train and Plan: k
+	// strategies are decoded from one forward pass, evaluated in parallel,
+	// and folded into one averaged policy-gradient update. Zero selects the
+	// default of 4.
+	BatchEpisodes int
 	// GAT and Policy size the two networks; zero values pick CPU-friendly
 	// defaults (gnn.DefaultConfig / policy.DefaultConfig).
 	GAT    gnn.Config
@@ -31,11 +36,16 @@ type Config struct {
 
 // DefaultConfig returns a CPU-friendly agent for m devices.
 func DefaultConfig(m int) Config {
-	return Config{MaxGroups: 500, Entropy: 0.02, LearningRate: 3e-3, Seed: 1}
+	return Config{MaxGroups: 500, Entropy: 0.02, LearningRate: 3e-3, BatchEpisodes: 4, Seed: 1}
 }
 
 // Agent couples the GAT encoder and the strategy network with an optimizer
 // and the per-graph reward baselines of the paper's policy-gradient update.
+//
+// An Agent's learning methods mutate the network weights and RNG and are not
+// safe for concurrent use; the per-evaluator state cache, however, is
+// mutex-guarded so that distinct agents sharing an evaluator (and Plan's
+// internal evaluation goroutines) race-free.
 type Agent struct {
 	GAT *gnn.GAT
 	Net *policy.Network
@@ -45,6 +55,12 @@ type Agent struct {
 	m         int
 	rng       *rand.Rand
 	baselines map[string]float64
+
+	// states caches per-evaluator encodings across episodes, bounded to
+	// maxCachedStates entries evicted in insertion order.
+	mu         sync.Mutex
+	states     map[*core.Evaluator]*graphState
+	stateOrder []*core.Evaluator
 }
 
 // New builds an agent for clusters of m devices.
@@ -78,6 +94,7 @@ func New(cfg Config, m int) (*Agent, error) {
 	return &Agent{
 		GAT: gat, Net: net, Opt: nn.NewAdam(cfg.LearningRate),
 		cfg: cfg, m: m, rng: rng, baselines: map[string]float64{},
+		states: map[*core.Evaluator]*graphState{},
 	}, nil
 }
 
@@ -98,12 +115,21 @@ type graphState struct {
 	members   *nn.Matrix
 }
 
-var stateCache = map[*core.Evaluator]*graphState{}
+// maxCachedStates bounds the per-evaluator encoding cache: beyond it the
+// oldest entry is dropped, so long-lived agents planning across many graphs
+// cannot grow without bound.
+const maxCachedStates = 16
 
 func (a *Agent) state(ev *core.Evaluator) (*graphState, error) {
-	if st, ok := stateCache[ev]; ok {
+	a.mu.Lock()
+	if st, ok := a.states[ev]; ok {
+		a.mu.Unlock()
 		return st, nil
 	}
+	a.mu.Unlock()
+	// Encode outside the lock: grouping + feature extraction walk the whole
+	// graph, and concurrent first-touch callers can race benignly (last
+	// writer wins, both values are equivalent).
 	gr, err := strategy.Group(ev.Graph, ev.Cost, a.cfg.MaxGroups)
 	if err != nil {
 		return nil, err
@@ -115,8 +141,36 @@ func (a *Agent) state(ev *core.Evaluator) (*graphState, error) {
 		neighbors: neighbors,
 		members:   members,
 	}
-	stateCache[ev] = st
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prior, ok := a.states[ev]; ok {
+		return prior, nil
+	}
+	a.states[ev] = st
+	a.stateOrder = append(a.stateOrder, ev)
+	for len(a.stateOrder) > maxCachedStates {
+		delete(a.states, a.stateOrder[0])
+		a.stateOrder = a.stateOrder[1:]
+	}
 	return st, nil
+}
+
+// ReleaseState evicts the cached encodings for ev, freeing the grouping and
+// feature matrices once an evaluator is no longer trained or planned on.
+// Train releases every evaluator it finished with automatically.
+func (a *Agent) ReleaseState(ev *core.Evaluator) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.states[ev]; !ok {
+		return
+	}
+	delete(a.states, ev)
+	for i, e := range a.stateOrder {
+		if e == ev {
+			a.stateOrder = append(a.stateOrder[:i], a.stateOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // forward runs GAT + strategy network, returning per-group action
@@ -177,8 +231,16 @@ func (a *Agent) decode(probs *nn.Matrix, gr *strategy.Grouping, greedy bool) (*s
 //	θ ← θ + α (r - R̄) ∇ log π(a) + λ ∇ H(π)
 //
 // with R̄ a per-graph moving average of rewards. Set learn=false for pure
-// evaluation (no update), greedy=true for argmax decoding.
+// evaluation (no update), greedy=true for argmax decoding. The sampled path
+// is the k=1 case of RunEpisodes.
 func (a *Agent) RunEpisode(ev *core.Evaluator, learn, greedy bool) (*Episode, error) {
+	if !greedy {
+		eps, err := a.RunEpisodes(ev, 1, learn)
+		if err != nil {
+			return nil, err
+		}
+		return eps[0], nil
+	}
 	st, err := a.state(ev)
 	if err != nil {
 		return nil, err
@@ -188,7 +250,7 @@ func (a *Agent) RunEpisode(ev *core.Evaluator, learn, greedy bool) (*Episode, er
 	if err != nil {
 		return nil, err
 	}
-	strat, picks, err := a.decode(probs.Value, st.grouping, greedy)
+	strat, picks, err := a.decode(probs.Value, st.grouping, true)
 	if err != nil {
 		return nil, err
 	}
@@ -197,32 +259,121 @@ func (a *Agent) RunEpisode(ev *core.Evaluator, learn, greedy bool) (*Episode, er
 		return nil, err
 	}
 	reward := core.Reward(eval)
-	ep := &Episode{Strategy: strat, Eval: eval, Reward: reward, Greedy: greedy}
+	ep := &Episode{Strategy: strat, Eval: eval, Reward: reward, Greedy: true}
 	if !learn {
 		return ep, nil
 	}
-	key := ev.Graph.Name
+	if err := a.update(t, probs, params, ev.Graph.Name, [][]int{picks}, []float64{reward}); err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// maxParallelEvals bounds the rollout-evaluation worker pool.
+func maxParallelEvals() int { return runtime.GOMAXPROCS(0) }
+
+// RunEpisodes is the batched rollout path: it decodes k strategies from one
+// forward pass, evaluates them concurrently over a bounded worker pool (the
+// evaluator's cache deduplicates resampled strategies), and, when learn is
+// set, applies one policy-gradient update averaged over the batch:
+//
+//	θ ← θ + α/k Σᵢ (rᵢ - R̄) ∇ log π(aᵢ) + λ ∇ H(π)
+//
+// Decoding draws from the agent's RNG sequentially, so results are
+// deterministic for a given seed regardless of evaluation interleaving; for
+// k=1 and learn in either state it is step-for-step identical to the
+// sequential episode path.
+func (a *Agent) RunEpisodes(ev *core.Evaluator, k int, learn bool) ([]*Episode, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("agent: batch size must be positive, got %d", k)
+	}
+	st, err := a.state(ev)
+	if err != nil {
+		return nil, err
+	}
+	t := nn.NewTape()
+	probs, params, err := a.forward(t, st)
+	if err != nil {
+		return nil, err
+	}
+	strats := make([]*strategy.Strategy, k)
+	picks := make([][]int, k)
+	for i := 0; i < k; i++ {
+		strats[i], picks[i], err = a.decode(probs.Value, st.grouping, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	evals := make([]*core.Evaluation, k)
+	errs := make([]error, k)
+	sem := make(chan struct{}, maxParallelEvals())
+	var wg sync.WaitGroup
+	for i := range strats {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			evals[i], errs[i] = ev.Evaluate(strats[i])
+		}(i)
+	}
+	wg.Wait()
+	eps := make([]*Episode, k)
+	rewards := make([]float64, k)
+	for i := range eps {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		rewards[i] = core.Reward(evals[i])
+		eps[i] = &Episode{Strategy: strats[i], Eval: evals[i], Reward: rewards[i]}
+	}
+	if !learn {
+		return eps, nil
+	}
+	if err := a.update(t, probs, params, ev.Graph.Name, picks, rewards); err != nil {
+		return nil, err
+	}
+	return eps, nil
+}
+
+// update applies the averaged REINFORCE step for a batch of rollouts sampled
+// from one forward pass.
+func (a *Agent) update(t *nn.Tape, probs *nn.Node, params []*nn.Node, key string, picks [][]int, rewards []float64) error {
+	k := len(rewards)
+	var meanReward float64
+	for _, r := range rewards {
+		meanReward += r
+	}
+	meanReward /= float64(k)
 	baseline, ok := a.baselines[key]
 	if !ok {
-		baseline = reward
+		baseline = meanReward
 	}
-	adv := reward - baseline
-	a.baselines[key] = 0.9*baseline + 0.1*reward
-	weights := make([]float64, len(picks))
-	for i := range weights {
-		weights[i] = adv / float64(len(picks))
+	a.baselines[key] = 0.9*baseline + 0.1*meanReward
+	var objective *nn.Node
+	for i := range picks {
+		adv := rewards[i] - baseline
+		weights := make([]float64, len(picks[i]))
+		for j := range weights {
+			weights[j] = adv / float64(k*len(picks[i]))
+		}
+		term := t.GatherLogProbs(probs, picks[i], weights)
+		if objective == nil {
+			objective = term
+		} else {
+			objective = t.Add(objective, term)
+		}
 	}
-	objective := t.GatherLogProbs(probs, picks, weights)
 	if a.cfg.Entropy > 0 {
-		ent := t.Scale(t.Entropy(probs), a.cfg.Entropy/float64(len(picks)))
+		ent := t.Scale(t.Entropy(probs), a.cfg.Entropy/float64(len(picks[0])))
 		objective = t.Add(objective, ent)
 	}
 	if err := t.Backward(objective); err != nil {
-		return nil, err
+		return err
 	}
 	nn.ClipGradNorm(params, 5)
 	a.Opt.Step(params, true)
-	return ep, nil
+	return nil
 }
 
 // Plan returns the best strategy the agent can find for the evaluator within
@@ -250,13 +401,15 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 	evals := make([]*core.Evaluation, len(cands))
 	fifoEvals := make([]*core.Evaluation, len(cands))
 	errs := make([]error, len(cands))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// Acquire the semaphore before spawning so in-flight goroutines (not
+	// just running evaluations) stay bounded by the core count.
+	sem := make(chan struct{}, maxParallelEvals())
 	var wg sync.WaitGroup
 	for i, cand := range cands {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, cand *strategy.Strategy) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			e, err := ev.Evaluate(cand)
 			if err != nil {
@@ -288,12 +441,16 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 		consider(evals[i])
 		consider(fifoEvals[i])
 	}
-	for i := 0; i < episodes; i++ {
-		ep, err := a.RunEpisode(ev, true, false)
+	for done := 0; done < episodes; {
+		k := min(a.batchSize(), episodes-done)
+		eps, err := a.RunEpisodes(ev, k, true)
 		if err != nil {
 			return nil, err
 		}
-		consider(ep.Eval)
+		for _, ep := range eps {
+			consider(ep.Eval)
+		}
+		done += k
 	}
 	if episodes > 0 {
 		ep, err := a.RunEpisode(ev, false, true)
@@ -324,37 +481,55 @@ type TrainResult struct {
 	RewardsTrace []float64
 }
 
-// Train runs episodes round-robin over several graphs until the best reward
-// stops improving for `patience` consecutive rounds (or maxEpisodes is hit),
-// returning the per-graph convergence traces. This is the multi-graph
-// pre-training of §4.1.3 and the measurement behind Table 6.
+// batchSize returns the configured rollout batch size.
+func (a *Agent) batchSize() int {
+	if a.cfg.BatchEpisodes > 0 {
+		return a.cfg.BatchEpisodes
+	}
+	return 4
+}
+
+// Train runs batched episodes round-robin over several graphs until the best
+// reward stops improving for `patience` consecutive episodes (or maxEpisodes
+// is hit), returning the per-graph convergence traces. Each round decodes a
+// batch from one forward pass and evaluates it in parallel (RunEpisodes).
+// This is the multi-graph pre-training of §4.1.3 and the measurement behind
+// Table 6. Cached per-evaluator encodings are released on return.
 func (a *Agent) Train(evs []*core.Evaluator, maxEpisodes, patience int) ([]TrainResult, error) {
+	defer func() {
+		for _, ev := range evs {
+			a.ReleaseState(ev)
+		}
+	}()
 	results := make([]TrainResult, len(evs))
 	for i := range results {
 		results[i].BestReward = -1e18
 	}
 	stale := make([]int, len(evs))
 	activeAll := true
-	for ep := 0; ep < maxEpisodes && activeAll; ep++ {
+	for activeAll {
 		activeAll = false
 		for gi, ev := range evs {
-			if stale[gi] >= patience {
+			r := &results[gi]
+			if stale[gi] >= patience || r.Episodes >= maxEpisodes {
 				continue
 			}
 			activeAll = true
-			e, err := a.RunEpisode(ev, true, false)
+			k := min(a.batchSize(), maxEpisodes-r.Episodes, patience-stale[gi])
+			eps, err := a.RunEpisodes(ev, k, true)
 			if err != nil {
 				return nil, err
 			}
-			r := &results[gi]
-			r.Episodes++
-			r.RewardsTrace = append(r.RewardsTrace, e.Reward)
-			if e.Reward > r.BestReward+1e-9 {
-				r.BestReward = e.Reward
-				r.BestTime = e.Eval.Time()
-				stale[gi] = 0
-			} else {
-				stale[gi]++
+			for _, e := range eps {
+				r.Episodes++
+				r.RewardsTrace = append(r.RewardsTrace, e.Reward)
+				if e.Reward > r.BestReward+1e-9 {
+					r.BestReward = e.Reward
+					r.BestTime = e.Eval.Time()
+					stale[gi] = 0
+				} else {
+					stale[gi]++
+				}
 			}
 		}
 	}

@@ -1,0 +1,204 @@
+package agent
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"heterog/internal/core"
+	"heterog/internal/nn"
+)
+
+// TestRunEpisodesMatchesSequentialSampling pins the batched path to the
+// sequential one: with identical seeds, RunEpisodes(k) must decode exactly
+// the strategies k sequential (non-learning) RunEpisode calls would, and
+// score them with the same rewards.
+func TestRunEpisodesMatchesSequentialSampling(t *testing.T) {
+	ev := smallEvaluator(t)
+	const k = 3
+	seq := newAgent(t, 4)
+	var wantDecisions [][]int
+	var wantRewards []float64
+	for i := 0; i < k; i++ {
+		ep, err := seq.RunEpisode(ev, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acts []int
+		for _, d := range ep.Strategy.Decisions {
+			acts = append(acts, d.ActionIndex(4))
+		}
+		wantDecisions = append(wantDecisions, acts)
+		wantRewards = append(wantRewards, ep.Reward)
+	}
+
+	batched := newAgent(t, 4)
+	eps, err := batched.RunEpisodes(ev, k, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != k {
+		t.Fatalf("got %d episodes, want %d", len(eps), k)
+	}
+	for i, ep := range eps {
+		var acts []int
+		for _, d := range ep.Strategy.Decisions {
+			acts = append(acts, d.ActionIndex(4))
+		}
+		if !reflect.DeepEqual(acts, wantDecisions[i]) {
+			t.Fatalf("episode %d decoded different actions than the sequential path", i)
+		}
+		if ep.Reward != wantRewards[i] {
+			t.Fatalf("episode %d reward %v, sequential %v", i, ep.Reward, wantRewards[i])
+		}
+	}
+}
+
+// TestRunEpisodesParallelPathMatchesSerialEvaluation is the batch leg of the
+// determinism requirement: every evaluation produced by the concurrent batch
+// path must be bit-identical to a serial, cache-free re-evaluation of the
+// same strategy.
+func TestRunEpisodesParallelPathMatchesSerialEvaluation(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	eps, err := a.RunEpisodes(ev, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := *ev
+	serial.Cache = nil
+	for i, ep := range eps {
+		want, err := serial.Evaluate(ep.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Result.Makespan != ep.Eval.Result.Makespan {
+			t.Fatalf("episode %d: makespan %v, serial %v", i, ep.Eval.Result.Makespan, want.Result.Makespan)
+		}
+		if !reflect.DeepEqual(want.Result.PeakMem, ep.Eval.Result.PeakMem) {
+			t.Fatalf("episode %d: peak memory diverges from serial evaluation", i)
+		}
+		if !reflect.DeepEqual(want.Result.Starts, ep.Eval.Result.Starts) ||
+			!reflect.DeepEqual(want.Result.Finishes, ep.Eval.Result.Finishes) {
+			t.Fatalf("episode %d: per-op schedule diverges from serial evaluation", i)
+		}
+		if !reflect.DeepEqual(want.Result.OOMDevices, ep.Eval.Result.OOMDevices) {
+			t.Fatalf("episode %d: OOM set diverges from serial evaluation", i)
+		}
+	}
+}
+
+// TestRunEpisodesLearns checks the averaged batch update moves the policy:
+// the batched path must be usable as a drop-in training step.
+func TestRunEpisodesLearns(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	before, err := a.RunEpisode(ev, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.RunEpisodes(ev, 4, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := a.RunEpisode(ev, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight updates happened (greedy decode may or may not change): the
+	// baselines table must be populated and finite.
+	if _, ok := a.baselines[ev.Graph.Name]; !ok {
+		t.Fatal("batched updates did not record a baseline")
+	}
+	if before.Eval == nil || after.Eval == nil {
+		t.Fatal("greedy probes failed")
+	}
+}
+
+// TestRunEpisodesRejectsBadBatch covers the k<=0 contract.
+func TestRunEpisodesRejectsBadBatch(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	if _, err := a.RunEpisodes(ev, 0, false); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+// TestStateCacheBoundedAndReleasable exercises the bounded per-evaluator
+// state cache and explicit release.
+func TestStateCacheBoundedAndReleasable(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	if _, err := a.state(ev); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.states[ev]; !ok {
+		t.Fatal("state not cached")
+	}
+	a.ReleaseState(ev)
+	if _, ok := a.states[ev]; ok {
+		t.Fatal("ReleaseState left the entry behind")
+	}
+	a.ReleaseState(ev) // idempotent
+
+	// Over-fill with synthetic keys: the map must stay bounded.
+	for i := 0; i < maxCachedStates+5; i++ {
+		key := &core.Evaluator{}
+		a.mu.Lock()
+		a.states[key] = &graphState{}
+		a.stateOrder = append(a.stateOrder, key)
+		for len(a.stateOrder) > maxCachedStates {
+			delete(a.states, a.stateOrder[0])
+			a.stateOrder = a.stateOrder[1:]
+		}
+		a.mu.Unlock()
+	}
+	if len(a.states) > maxCachedStates {
+		t.Fatalf("state cache grew to %d entries, bound is %d", len(a.states), maxCachedStates)
+	}
+}
+
+// TestTrainReleasesStates checks Train evicts its evaluators' encodings.
+func TestTrainReleasesStates(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	if _, err := a.Train([]*core.Evaluator{ev}, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	_, ok := a.states[ev]
+	a.mu.Unlock()
+	if ok {
+		t.Fatal("Train must release per-evaluator state on return")
+	}
+}
+
+// TestDecodeConsumesRNGPerGroup guards the decode contract RunEpisodes
+// relies on: sampling one strategy consumes exactly one RNG draw per group,
+// so batched decoding replays the sequential sampling stream.
+func TestDecodeConsumesRNGPerGroup(t *testing.T) {
+	ev := smallEvaluator(t)
+	a := newAgent(t, 4)
+	st, err := a.state(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := nn.NewTape()
+	probs, _, err := a.forward(tape, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	a.rng = r1
+	if _, _, err := a.decode(probs.Value, st.grouping, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.grouping.NumGroups(); i++ {
+		r2.Float64()
+	}
+	if r1.Float64() != r2.Float64() {
+		t.Fatal("decode must draw exactly one sample per group")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"heterog/internal/strategy"
+)
+
+// sameEvaluation asserts two evaluations are observably identical: timings,
+// memory profile, OOM set and per-op schedules.
+func sameEvaluation(t *testing.T, want, got *Evaluation, what string) {
+	t.Helper()
+	if want.PerIter != got.PerIter {
+		t.Fatalf("%s: PerIter %v != %v", what, got.PerIter, want.PerIter)
+	}
+	if want.ComputeTime != got.ComputeTime || want.CommTime != got.CommTime {
+		t.Fatalf("%s: compute/comm breakdown diverges", what)
+	}
+	if want.Result.Makespan != got.Result.Makespan {
+		t.Fatalf("%s: Makespan %v != %v", what, got.Result.Makespan, want.Result.Makespan)
+	}
+	if !reflect.DeepEqual(want.Result.PeakMem, got.Result.PeakMem) {
+		t.Fatalf("%s: PeakMem diverges", what)
+	}
+	if !reflect.DeepEqual(want.Result.OOMDevices, got.Result.OOMDevices) {
+		t.Fatalf("%s: OOM set diverges", what)
+	}
+	if !reflect.DeepEqual(want.Result.Starts, got.Result.Starts) ||
+		!reflect.DeepEqual(want.Result.Finishes, got.Result.Finishes) {
+		t.Fatalf("%s: Starts/Finishes diverge", what)
+	}
+}
+
+// TestCacheHitIdenticalToColdEvaluation is the acceptance check: a cache-hit
+// Evaluate must return an Evaluation identical to a cold one, and to one from
+// a cache-disabled evaluator.
+func TestCacheHitIdenticalToColdEvaluation(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	s := uniform(t, ev, strategy.DPPropAR)
+
+	cold, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ev.Cache.Stats()
+	if st.Misses == 0 || st.Len == 0 {
+		t.Fatalf("cold evaluation should populate the cache, stats %+v", st)
+	}
+	hit, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Cache.Stats(); got.Hits != st.Hits+1 {
+		t.Fatalf("second evaluation should hit, stats %+v", got)
+	}
+	sameEvaluation(t, cold, hit, "cache hit")
+	if hit.Strategy != s {
+		t.Fatal("cache hit must carry the caller's strategy pointer")
+	}
+
+	serial := *ev
+	serial.Cache = nil
+	plain, err := serial.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEvaluation(t, plain, hit, "cached vs uncached")
+}
+
+// TestCacheKeySeparatesOrderAndIterations guards against false sharing
+// between an evaluator and its FIFO/iteration variants on the same cache.
+func TestCacheKeySeparatesOrderAndIterations(t *testing.T) {
+	ev := evaluatorFor(t, "vgg19", 64, 4)
+	s := uniform(t, ev, strategy.DPEvenPS)
+	ranked, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := *ev
+	fifo.UseFIFO = true
+	ef, err := fifo.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ranked.Result.Starts, ef.Result.Starts) {
+		t.Fatal("FIFO evaluation returned the ranked schedule: cache key ignores order")
+	}
+	longer := *ev
+	longer.Iterations = 5
+	e5, err := longer.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e5.Dist.Iterations != 5 {
+		t.Fatalf("iteration variant served %d-iteration graph from cache", e5.Dist.Iterations)
+	}
+}
+
+// TestEvaluateDeterministicAcrossPaths evaluates the same strategy serially
+// (no cache), through the cache, and concurrently from many goroutines, and
+// requires identical Makespan, PeakMem and Starts/Finishes everywhere.
+func TestEvaluateDeterministicAcrossPaths(t *testing.T) {
+	ev := evaluatorFor(t, "mobilenet_v2", 48, 4)
+	s := uniform(t, ev, strategy.DPPropPS)
+
+	serial := *ev
+	serial.Cache = nil
+	want, err := serial.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := runtime.GOMAXPROCS(0) + 2
+	evals := make([]*Evaluation, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			evals[w], errs[w] = ev.Evaluate(s)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		sameEvaluation(t, want, evals[w], "parallel worker")
+	}
+	cached, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameEvaluation(t, want, cached, "cached")
+}

@@ -13,6 +13,7 @@ import (
 
 	"heterog/internal/cluster"
 	"heterog/internal/compiler"
+	"heterog/internal/evalcache"
 	"heterog/internal/graph"
 	"heterog/internal/profile"
 	"heterog/internal/sched"
@@ -91,22 +92,44 @@ type Evaluator struct {
 	Iterations int
 	// Ablate disables individual compiler mechanisms (ablation studies).
 	Ablate compiler.Ablations
+	// Cache memoizes full evaluations keyed by the canonical fingerprint of
+	// (per-op decisions, execution order, iterations, ablations), so
+	// resampled strategies skip the compile → rank → simulate pipeline. Nil
+	// disables memoization. The cache is safe for concurrent use; value
+	// copies of an Evaluator (e.g. a FIFO twin) share it, with the differing
+	// knobs folded into the key. It must not be shared across different
+	// (graph, cluster, cost model) triples.
+	Cache *evalcache.Cache[*Evaluation]
 }
 
-// NewEvaluator profiles the graph on the cluster and returns an evaluator.
+// NewEvaluator profiles the graph on the cluster and returns an evaluator
+// with memoization enabled at evalcache.DefaultCapacity.
 func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, error) {
 	cm, err := profile.Profile(g, c, profile.Options{Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", g.Name, err)
 	}
-	return &Evaluator{Graph: g, Cluster: c, Cost: cm}, nil
+	return &Evaluator{Graph: g, Cluster: c, Cost: cm, Cache: evalcache.New[*Evaluation](0)}, nil
 }
 
-// Evaluate compiles, orders and simulates one strategy.
+// Evaluate compiles, orders and simulates one strategy, short-circuiting
+// through the evaluation cache when an identical request was already
+// simulated. Cache hits return a copy of the Evaluation header carrying the
+// caller's Strategy pointer; the Dist and Result payloads are shared and must
+// be treated as read-only (every consumer already does).
 func (ev *Evaluator) Evaluate(s *strategy.Strategy) (*Evaluation, error) {
 	iters := ev.Iterations
 	if iters <= 0 {
 		iters = 3
+	}
+	var key evalcache.Key
+	if ev.Cache != nil {
+		key = evalcache.Fingerprint(s, ev.UseFIFO, iters, ev.Ablate)
+		if hit, ok := ev.Cache.Get(key); ok {
+			e := *hit
+			e.Strategy = s
+			return &e, nil
+		}
 	}
 	dg, err := compiler.CompileAblated(ev.Graph, ev.Cluster, s, ev.Cost, iters, ev.Ablate)
 	if err != nil {
@@ -122,14 +145,18 @@ func (ev *Evaluator) Evaluate(s *strategy.Strategy) (*Evaluation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simulate %s: %w", ev.Graph.Name, err)
 	}
-	return &Evaluation{
+	e := &Evaluation{
 		Strategy:    s,
 		Dist:        dg,
 		Result:      res,
 		PerIter:     perIteration(dg, res),
 		ComputeTime: res.ComputeTime / float64(iters),
 		CommTime:    res.CommTime / float64(iters),
-	}, nil
+	}
+	if ev.Cache != nil {
+		ev.Cache.Put(key, e)
+	}
+	return e, nil
 }
 
 // StrategyStats tallies the fraction of the source graph's operations under

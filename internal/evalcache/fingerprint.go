@@ -1,0 +1,58 @@
+package evalcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"heterog/internal/compiler"
+	"heterog/internal/strategy"
+)
+
+// Key is the canonical fingerprint of one evaluation request. Keys from
+// different (graph, cluster, cost model) triples are not comparable — a cache
+// must not be shared across evaluators for different triples (the evaluator
+// builds one cache per triple, and its FIFO twin shares it, distinguished by
+// the order flag inside the key).
+type Key [sha256.Size]byte
+
+// Fingerprint derives the cache key for evaluating strategy s with the given
+// execution order, chained iteration count and compiler ablations.
+//
+// The decision stream is canonicalized to per-op effective decisions: two
+// strategies whose groupings permute group indices (or split groups
+// differently) but assign every op the same decision compile to the same
+// distributed graph, so they intentionally share a key. Placement devices are
+// ignored for DP decisions, which the compiler never reads them for.
+func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler.Ablations) Key {
+	n := len(s.Grouping.GroupOf)
+	buf := make([]byte, 0, 16+3*n)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(iterations))
+	buf = append(buf, hdr[:]...)
+	var flags byte
+	if useFIFO {
+		flags |= 1 << 0
+	}
+	if ab.NoNCCLSerialization {
+		flags |= 1 << 1
+	}
+	if ab.FreeCollectiveLaunch {
+		flags |= 1 << 2
+	}
+	if ab.DensePS {
+		flags |= 1 << 3
+	}
+	if ab.NoHierarchicalPull {
+		flags |= 1 << 4
+	}
+	buf = append(buf, flags)
+	for _, gi := range s.Grouping.GroupOf {
+		d := s.Decisions[gi]
+		dev := d.Device
+		if d.Kind != strategy.MP {
+			dev = 0
+		}
+		buf = append(buf, byte(d.Kind), byte(dev), byte(dev>>8))
+	}
+	return sha256.Sum256(buf)
+}

@@ -5,12 +5,21 @@
 // idles, tracks memory allocation and release by reference counting, and
 // reports the per-iteration time, per-unit utilization, compute/communication
 // breakdown and peak memory per device (flagging OOM).
+//
+// The simulator is the innermost loop of strategy search: every RL episode
+// and every heuristic candidate runs it. A reusable Simulator recycles the
+// ready queues, event heap, dependency/refcount/memory slices and Result
+// buffers across runs, so steady-state simulation allocates nothing; the
+// package-level Run keeps the original one-shot signature on top of a pool
+// of reusable simulators. Dispatch order is fully determined by (priority,
+// arrival seq) and (time, seq) total orders, so reused and fresh simulators
+// produce bit-identical results.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"heterog/internal/compiler"
 )
@@ -38,6 +47,18 @@ type Result struct {
 // OOM reports whether any device ran out of memory.
 func (r *Result) OOM() bool { return len(r.OOMDevices) > 0 }
 
+// Clone deep-copies the result so it can be retained past the next Run call
+// of the Simulator that produced it.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.BusyTime = append([]float64(nil), r.BusyTime...)
+	c.PeakMem = append([]int64(nil), r.PeakMem...)
+	c.OOMDevices = append([]int(nil), r.OOMDevices...)
+	c.Starts = append([]float64(nil), r.Starts...)
+	c.Finishes = append([]float64(nil), r.Finishes...)
+	return &c
+}
+
 // opItem is a ready-queue entry ordered by descending priority. Multi-unit
 // ops are enqueued on every unit they occupy and removed lazily once started.
 type opItem struct {
@@ -47,23 +68,54 @@ type opItem struct {
 	started  bool
 }
 
+// readyQueue is a binary max-heap on (priority desc, seq asc). The heap is
+// hand-rolled instead of container/heap so pushes never box through
+// interfaces; because seq is unique the pop order is a total order,
+// independent of the internal tree layout.
 type readyQueue []*opItem
 
-func (q readyQueue) Len() int { return len(q) }
-func (q readyQueue) Less(i, j int) bool {
+func (q readyQueue) less(i, j int) bool {
 	if q[i].priority != q[j].priority {
 		return q[i].priority > q[j].priority
 	}
 	return q[i].seq < q[j].seq
 }
-func (q readyQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *readyQueue) Push(x any)   { *q = append(*q, x.(*opItem)) }
-func (q *readyQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+
+func (q *readyQueue) push(it *opItem) {
+	*q = append(*q, it)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *readyQueue) pop() *opItem {
+	h := *q
+	n := len(h) - 1
+	it := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h.less(r, l) {
+			l = r
+		}
+		if !h.less(l, i) {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
 	return it
 }
 
@@ -74,23 +126,52 @@ type completion struct {
 	seq  int
 }
 
+// eventHeap is a binary min-heap on (time asc, seq asc), hand-rolled for the
+// same zero-boxing reason as readyQueue.
 type eventHeap []completion
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(completion)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) push(c completion) {
+	*h = append(*h, c)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() completion {
+	s := *h
+	n := len(s) - 1
+	c := s[0]
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && s.less(r, l) {
+			l = r
+		}
+		if !s.less(l, i) {
+			break
+		}
+		s[i], s[l] = s[l], s[i]
+		i = l
+	}
+	return c
 }
 
 // blockedScanDepth bounds how many blocked multi-unit entries a unit skips
@@ -98,166 +179,258 @@ func (h *eventHeap) Pop() any {
 // next event, trading a sliver of greediness for linear-time dispatch.
 const blockedScanDepth = 64
 
+// grow returns s resized to n zeroed elements, reusing capacity when it can.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Simulator is a reusable discrete-event simulator. All scratch state — ready
+// queues, event heap, dependency counters, refcounts, memory trackers and the
+// Result buffers — is recycled across Run calls, so simulating graphs of the
+// same size allocates nothing in steady state.
+//
+// A Simulator is NOT safe for concurrent use; give each goroutine its own
+// (the package-level Run draws from a shared pool). The Result returned by
+// Run aliases the Simulator's internal buffers and is only valid until the
+// next Run call on the same Simulator; use Result.Clone to retain it.
+type Simulator struct {
+	res     Result
+	queues  []readyQueue
+	busy    []bool
+	indeg   []int
+	refs    []int
+	mem     []int64
+	items   []opItem
+	events  eventHeap
+	skipped []*opItem
+	// CSR successor lists rebuilt per run into reusable buffers.
+	succOff []int
+	succ    []*compiler.DistOp
+
+	dg   *compiler.DistGraph
+	pr   []float64
+	seq  int
+	done int
+}
+
+// NewSimulator returns an empty reusable simulator.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+func (s *Simulator) alloc(op *compiler.DistOp) {
+	if op.MemDevice < 0 || op.OutBytes == 0 {
+		return
+	}
+	s.mem[op.MemDevice] += op.OutBytes
+	if s.mem[op.MemDevice] > s.res.PeakMem[op.MemDevice] {
+		s.res.PeakMem[op.MemDevice] = s.mem[op.MemDevice]
+	}
+}
+
+func (s *Simulator) release(op *compiler.DistOp) {
+	if op.MemDevice >= 0 && op.OutBytes > 0 {
+		s.mem[op.MemDevice] -= op.OutBytes
+	}
+}
+
+func (s *Simulator) enqueue(op *compiler.DistOp) {
+	it := &s.items[op.ID]
+	*it = opItem{op: op, priority: s.pr[op.ID], seq: s.seq}
+	s.seq++
+	for _, u := range op.Units {
+		s.queues[u].push(it)
+	}
+}
+
+func (s *Simulator) canStart(op *compiler.DistOp) bool {
+	for _, u := range op.Units {
+		if s.busy[u] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) start(it *opItem, now float64) {
+	it.started = true
+	op := it.op
+	for _, u := range op.Units {
+		s.busy[u] = true
+		s.res.BusyTime[u] += op.Time
+	}
+	s.res.Starts[op.ID] = now
+	s.alloc(op)
+	s.events.push(completion{time: now + op.Time, op: op, seq: s.seq})
+	s.seq++
+}
+
+// dispatchUnit starts ops from one unit's queue while possible. Blocked
+// multi-unit heads are skipped (bounded) and retained.
+func (s *Simulator) dispatchUnit(u int, now float64) {
+	if s.busy[u] {
+		return
+	}
+	s.skipped = s.skipped[:0]
+	for len(s.queues[u]) > 0 && len(s.skipped) < blockedScanDepth {
+		it := s.queues[u].pop()
+		if it.started {
+			continue
+		}
+		if s.canStart(it.op) {
+			s.start(it, now)
+			if s.busy[u] {
+				break
+			}
+			continue
+		}
+		s.skipped = append(s.skipped, it)
+	}
+	for _, it := range s.skipped {
+		s.queues[u].push(it)
+	}
+}
+
+func (s *Simulator) dispatchAll(now float64) {
+	for u := range s.queues {
+		s.dispatchUnit(u, now)
+	}
+}
+
+func (s *Simulator) complete(op *compiler.DistOp, now float64) {
+	s.res.Finishes[op.ID] = now
+	for _, u := range op.Units {
+		s.busy[u] = false
+	}
+	s.done++
+	for _, in := range op.Inputs {
+		s.refs[in.ID]--
+		if s.refs[in.ID] == 0 {
+			s.release(in)
+		}
+	}
+	if s.refs[op.ID] == 0 {
+		s.release(op)
+	}
+	for _, succ := range s.succ[s.succOff[op.ID]:s.succOff[op.ID+1]] {
+		s.indeg[succ.ID]--
+		if s.indeg[succ.ID] == 0 {
+			s.enqueue(succ)
+		}
+	}
+}
+
+// reset sizes and zeroes every buffer for a run over dg.
+func (s *Simulator) reset(dg *compiler.DistGraph, priorities []float64) {
+	n := len(dg.Ops)
+	numUnits := dg.NumUnits()
+	numGPUs := dg.Cluster.NumDevices()
+	s.dg, s.pr = dg, priorities
+	s.seq, s.done = 0, 0
+
+	s.res.Makespan, s.res.ComputeTime, s.res.CommTime = 0, 0, 0
+	s.res.BusyTime = grow(s.res.BusyTime, numUnits)
+	s.res.PeakMem = grow(s.res.PeakMem, numGPUs)
+	s.res.Starts = grow(s.res.Starts, n)
+	s.res.Finishes = grow(s.res.Finishes, n)
+	s.res.OOMDevices = s.res.OOMDevices[:0]
+
+	// Successor lists in CSR form: offsets then a counting fill, reusing the
+	// refs slice as the fill cursor. Source order matches the op slice, so
+	// per-node successor order — and with it every seq assignment downstream —
+	// is identical to building per-node slices.
+	s.succOff = grow(s.succOff, n+1)
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			s.succOff[in.ID+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.succOff[i+1] += s.succOff[i]
+	}
+	edges := s.succOff[n]
+	if cap(s.succ) < edges {
+		s.succ = make([]*compiler.DistOp, edges)
+	} else {
+		s.succ = s.succ[:edges]
+	}
+	s.refs = grow(s.refs, n)
+	copy(s.refs, s.succOff[:n])
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			s.succ[s.refs[in.ID]] = op
+			s.refs[in.ID]++
+		}
+	}
+
+	s.indeg = grow(s.indeg, n)
+	for _, op := range dg.Ops {
+		s.indeg[op.ID] = len(op.Inputs)
+		s.refs[op.ID] = s.succOff[op.ID+1] - s.succOff[op.ID]
+	}
+
+	// Memory: persistent baseline plus refcounted transient buffers.
+	s.mem = grow(s.mem, numGPUs)
+	copy(s.mem, dg.PersistentBytes)
+	copy(s.res.PeakMem, s.mem)
+
+	if cap(s.queues) < numUnits {
+		nq := make([]readyQueue, numUnits)
+		copy(nq, s.queues[:cap(s.queues)])
+		s.queues = nq
+	} else {
+		s.queues = s.queues[:numUnits]
+	}
+	for u := range s.queues {
+		s.queues[u] = s.queues[u][:0]
+	}
+	s.busy = grow(s.busy, numUnits)
+	s.items = grow(s.items, n)
+	s.events = s.events[:0]
+}
+
 // Run simulates the distributed graph under the given per-op priorities
 // (use sched.Ranks for HeteroG's order, sched.FIFO for TensorFlow's
 // default), indexed by dense DistOp ID. Dispatch is greedy: whenever a unit
 // frees, it starts the highest-priority ready op all of whose units are idle.
-func Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+//
+// The returned Result aliases the Simulator's reusable buffers: it is valid
+// until the next Run call on this Simulator. Clone it to retain it.
+func (s *Simulator) Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
 	n := len(dg.Ops)
 	if len(priorities) < n {
 		return nil, fmt.Errorf("priorities cover %d of %d ops", len(priorities), n)
 	}
-	numUnits := dg.NumUnits()
-	numGPUs := dg.Cluster.NumDevices()
-
-	res := &Result{
-		BusyTime: make([]float64, numUnits),
-		PeakMem:  make([]int64, numGPUs),
-		Starts:   make([]float64, n),
-		Finishes: make([]float64, n),
-	}
-
-	succ := dg.Successors()
-	indeg := make([]int, n)
-	for _, op := range dg.Ops {
-		indeg[op.ID] = len(op.Inputs)
-	}
-
-	// Memory: persistent baseline plus refcounted transient buffers.
-	mem := make([]int64, numGPUs)
-	copy(mem, dg.PersistentBytes)
-	copy(res.PeakMem, mem)
-	refs := make([]int, n)
-	for _, op := range dg.Ops {
-		refs[op.ID] = len(succ[op.ID])
-	}
-	alloc := func(op *compiler.DistOp) {
-		if op.MemDevice < 0 || op.OutBytes == 0 {
-			return
-		}
-		mem[op.MemDevice] += op.OutBytes
-		if mem[op.MemDevice] > res.PeakMem[op.MemDevice] {
-			res.PeakMem[op.MemDevice] = mem[op.MemDevice]
-		}
-	}
-	release := func(op *compiler.DistOp) {
-		if op.MemDevice >= 0 && op.OutBytes > 0 {
-			mem[op.MemDevice] -= op.OutBytes
-		}
-	}
-
-	queues := make([]readyQueue, numUnits)
-	busy := make([]bool, numUnits)
-	seq := 0
-	enqueue := func(op *compiler.DistOp) {
-		it := &opItem{op: op, priority: priorities[op.ID], seq: seq}
-		seq++
-		for _, u := range op.Units {
-			heap.Push(&queues[u], it)
-		}
-	}
-	canStart := func(op *compiler.DistOp) bool {
-		for _, u := range op.Units {
-			if busy[u] {
-				return false
-			}
-		}
-		return true
-	}
-
-	var events eventHeap
-	evSeq := 0
-	start := func(it *opItem, now float64) {
-		it.started = true
-		op := it.op
-		for _, u := range op.Units {
-			busy[u] = true
-			res.BusyTime[u] += op.Time
-		}
-		res.Starts[op.ID] = now
-		alloc(op)
-		heap.Push(&events, completion{time: now + op.Time, op: op, seq: evSeq})
-		evSeq++
-	}
-	// dispatchUnit starts ops from one unit's queue while possible. Blocked
-	// multi-unit heads are skipped (bounded) and retained.
-	var skipped []*opItem
-	dispatchUnit := func(u int, now float64) {
-		if busy[u] {
-			return
-		}
-		skipped = skipped[:0]
-		for queues[u].Len() > 0 && len(skipped) < blockedScanDepth {
-			it := heap.Pop(&queues[u]).(*opItem)
-			if it.started {
-				continue
-			}
-			if canStart(it.op) {
-				start(it, now)
-				if busy[u] {
-					break
-				}
-				continue
-			}
-			skipped = append(skipped, it)
-		}
-		for _, it := range skipped {
-			heap.Push(&queues[u], it)
-		}
-	}
-	dispatchAll := func(now float64) {
-		for u := 0; u < numUnits; u++ {
-			dispatchUnit(u, now)
-		}
-	}
+	s.reset(dg, priorities)
 
 	for _, op := range dg.Ops {
-		if indeg[op.ID] == 0 {
-			enqueue(op)
+		if s.indeg[op.ID] == 0 {
+			s.enqueue(op)
 		}
 	}
 	now := 0.0
-	dispatchAll(now)
-	done := 0
-	complete := func(op *compiler.DistOp, now float64) {
-		res.Finishes[op.ID] = now
-		for _, u := range op.Units {
-			busy[u] = false
-		}
-		done++
-		for _, in := range op.Inputs {
-			refs[in.ID]--
-			if refs[in.ID] == 0 {
-				release(in)
-			}
-		}
-		if refs[op.ID] == 0 {
-			release(op)
-		}
-		for _, s := range succ[op.ID] {
-			indeg[s.ID]--
-			if indeg[s.ID] == 0 {
-				enqueue(s)
-			}
-		}
-	}
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(completion)
+	s.dispatchAll(now)
+	for len(s.events) > 0 {
+		ev := s.events.pop()
 		now = ev.time
-		complete(ev.op, now)
+		s.complete(ev.op, now)
 		// Drain same-time completions before dispatching so simultaneous
 		// frees are visible together.
-		for events.Len() > 0 && events[0].time == now {
-			ev2 := heap.Pop(&events).(completion)
-			complete(ev2.op, now)
+		for len(s.events) > 0 && s.events[0].time == now {
+			ev2 := s.events.pop()
+			s.complete(ev2.op, now)
 		}
-		dispatchAll(now)
+		s.dispatchAll(now)
 	}
-	if done != n {
-		return nil, fmt.Errorf("deadlock: executed %d of %d ops (cyclic or unreachable deps)", done, n)
+	if s.done != n {
+		return nil, fmt.Errorf("deadlock: executed %d of %d ops (cyclic or unreachable deps)", s.done, n)
 	}
+	res := &s.res
 	res.Makespan = now
-	for u := 0; u < numUnits; u++ {
+	for u := range s.queues {
 		bt := res.BusyTime[u]
 		if dg.UnitKindOf(u) == compiler.UnitGPU {
 			if bt > res.ComputeTime {
@@ -267,12 +440,30 @@ func Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
 			res.CommTime = bt
 		}
 	}
-	for d := 0; d < numGPUs; d++ {
+	for d := 0; d < dg.Cluster.NumDevices(); d++ {
 		if res.PeakMem[d] > dg.Cluster.Devices[d].UsableMemBytes() {
 			res.OOMDevices = append(res.OOMDevices, d)
 		}
 	}
 	return res, nil
+}
+
+// simPool recycles simulators across package-level Run calls, including
+// concurrent ones (each Get hands a simulator to exactly one goroutine).
+var simPool = sync.Pool{New: func() any { return NewSimulator() }}
+
+// Run is the one-shot compatibility wrapper around Simulator: it draws a
+// reusable simulator from a shared pool and returns a Result the caller owns.
+func Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+	s := simPool.Get().(*Simulator)
+	res, err := s.Run(dg, priorities)
+	if err != nil {
+		simPool.Put(s)
+		return nil, err
+	}
+	out := res.Clone()
+	simPool.Put(s)
+	return out, nil
 }
 
 // Utilization returns busy-time / makespan per unit.
