@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-robust
 
 # check is the tier-1 verification entry point: static analysis, build, the
 # full test suite, and the race detector over the concurrency-sensitive
@@ -17,12 +17,18 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with shared mutable state on the evaluation fast
-# path; running the whole tree under -race multiplies the RL/experiment test
-# time ~10x for no extra coverage, so it is scoped deliberately.
+# path (plus the fault/robustness machinery feeding it); running the whole
+# tree under -race multiplies the RL/experiment test time ~10x for no extra
+# coverage, so it is scoped deliberately.
 race:
-	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/...
+	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/...
 
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json.
 bench:
 	$(GO) test -run '^$$' -bench 'EvaluateCold|EvaluateCached|RunEpisodes|SimReuse|SimPooledRun' -benchtime 2s -benchmem .
+
+# bench-robust regenerates the fault/replanning exhibit recorded in
+# BENCH_robust.json (nominal/p95/worst-case per workload + replan gains).
+bench-robust:
+	$(GO) run ./cmd/heterog-bench -exp robust -faults 4 -fault-seed 1 -out BENCH_robust.json

@@ -1,4 +1,4 @@
-package heterog
+package heterog_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's evaluation (§6) plus the appendix. Each benchmark regenerates its

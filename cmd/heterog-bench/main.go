@@ -3,24 +3,47 @@
 //	heterog-bench -exp table1          # one exhibit
 //	heterog-bench -exp all             # everything (slow)
 //	heterog-bench -exp table6 -unseen vgg19,nasnet
+//	heterog-bench -exp robust -faults 4 -robust -out BENCH_robust.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"heterog/internal/experiments"
 )
 
+// writeJSON records a bench exhibit's typed rows for BENCH_*.json files.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	log.SetFlags(0)
-	exp := flag.String("exp", "table1", "exhibit: table1,table2,table3,table4,table5,table6,table7,fig3a,fig3b,fig8,fig9,fig12,ablation,appendix,all")
+	exp := flag.String("exp", "table1", "exhibit: table1,table2,table3,table4,table5,table6,table7,fig3a,fig3b,fig8,fig9,fig12,ablation,appendix,robust,all")
 	episodes := flag.Int("episodes", 6, "RL episodes per model when planning HeteroG strategies")
 	seed := flag.Int64("seed", 1, "random seed")
 	unseen := flag.String("unseen", "", "comma-separated held-out models for table6")
+	faultK := flag.Int("faults", 4, "fault scenarios for the robust exhibit")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-scenario seed for the robust exhibit")
+	robust := flag.Bool("robust", false, "plan the robust exhibit under the blended nominal/worst-case objective")
+	blend := flag.Float64("blend", 0.5, "worst-case weight when -robust is set")
+	out := flag.String("out", "", "write the robust exhibit's rows as JSON to this path")
 	flag.Parse()
 
 	lab := experiments.NewLab(experiments.Config{Episodes: *episodes, Seed: *seed})
@@ -59,6 +82,15 @@ func main() {
 			rep, _, err = experiments.Motivation()
 		case "ablation":
 			rep, _, err = lab.Ablation()
+		case "robust":
+			var rows []experiments.RobustRow
+			rep, rows, err = lab.Robust(*faultK, *faultSeed, *robust, *blend)
+			if err == nil && *out != "" {
+				if werr := writeJSON(*out, rows); werr != nil {
+					return werr
+				}
+				fmt.Printf("robustness rows saved to %s\n", *out)
+			}
 		case "appendix":
 			rep, _, err = experiments.Appendix()
 		default:
@@ -73,7 +105,7 @@ func main() {
 	}
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig12", "fig3a", "fig3b", "table1", "table2", "table3", "table4", "table5", "table7", "fig8", "fig9", "ablation", "appendix", "table6"}
+		names = []string{"fig12", "fig3a", "fig3b", "table1", "table2", "table3", "table4", "table5", "table7", "fig8", "fig9", "ablation", "appendix", "table6", "robust"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

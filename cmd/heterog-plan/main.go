@@ -2,6 +2,11 @@
 // HeteroG's strategy search, prints the per-iteration comparison against the
 // four DP baselines, and can save the chosen strategy as JSON and the
 // simulated schedule as a Chrome trace (chrome://tracing / Perfetto).
+//
+// With -faults K it additionally scores the plan across K deterministic
+// fault scenarios (stragglers, degraded links, device loss, shrunken memory)
+// and prints the nominal/p95/worst-case robustness report; -robust makes the
+// search itself optimize the blended nominal/worst-case objective.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"heterog/internal/baselines"
 	"heterog/internal/cluster"
 	"heterog/internal/core"
+	"heterog/internal/faults"
 	"heterog/internal/models"
 	"heterog/internal/sim"
 	"heterog/internal/strategy"
@@ -30,6 +36,10 @@ func main() {
 	batchEps := flag.Int("batch-episodes", 0, "rollout batch size per policy update (0 = default)")
 	savePath := flag.String("save", "", "write the HeteroG strategy as JSON to this path")
 	tracePath := flag.String("trace", "", "write the simulated schedule as a Chrome trace to this path")
+	faultK := flag.Int("faults", 0, "score plans across this many fault scenarios (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-scenario seed (same seed = identical scenarios)")
+	robust := flag.Bool("robust", false, "optimize the blended nominal/worst-case objective instead of nominal time (needs -faults)")
+	blend := flag.Float64("blend", 0.5, "worst-case weight in the robust objective")
 	flag.Parse()
 
 	var c *cluster.Cluster
@@ -55,6 +65,19 @@ func main() {
 	ev, err := core.NewEvaluator(g, c, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var scenarios []*faults.Scenario
+	if *faultK > 0 {
+		scenarios = faults.Generate(c, faults.DefaultModel(*faultK, *faultSeed))
+		if *robust {
+			// Enable before planning: search optimizes the blended
+			// nominal/worst-case objective.
+			if err := ev.EnableRobustness(scenarios, *blend); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else if *robust {
+		log.Fatal("-robust needs -faults > 0")
 	}
 	report := func(label string, e *core.Evaluation) {
 		status := fmt.Sprintf("%.3fs", e.PerIter)
@@ -87,6 +110,34 @@ func main() {
 		log.Fatal(err)
 	}
 	report("HeteroG", plan)
+	if len(scenarios) > 0 {
+		if plan.Robust == nil {
+			// Report-only mode: score the nominally planned strategy across
+			// the scenarios after the fact.
+			if err := ev.EnableRobustness(scenarios, *blend); err != nil {
+				log.Fatal(err)
+			}
+			if plan, err = ev.Evaluate(plan.Strategy); err != nil {
+				log.Fatal(err)
+			}
+		}
+		rr := plan.Robust
+		fmt.Printf("robustness over %d fault scenarios (seed %d, blend %.2f, objective: %s):\n",
+			len(rr.Times), *faultSeed, rr.Blend, map[bool]string{true: "robust", false: "nominal"}[*robust])
+		fmt.Printf("  nominal    %.3fs/iter\n", rr.Nominal)
+		fmt.Printf("  p95        %.3fs/iter\n", rr.P95)
+		fmt.Printf("  worst-case %.3fs/iter  (%s)\n", rr.Worst, rr.WorstScenario)
+		fmt.Printf("  OOM under fault: %d/%d scenarios\n", rr.OOMFaults, len(rr.Times))
+		if *verbose {
+			for k, sc := range scenarios {
+				status := fmt.Sprintf("%.3fs", rr.Times[k])
+				if rr.OOMs[k] {
+					status += " OOM"
+				}
+				fmt.Printf("    %-28s %s\n", sc.Name, status)
+			}
+		}
+	}
 	if *verbose && ev.Cache != nil {
 		cs := ev.Cache.Stats()
 		fmt.Printf("eval cache: %d hits / %d misses / %d evictions (%d entries)\n",

@@ -4,7 +4,8 @@
 // single-GPU model, describe the device set, call GetRunner, and run the
 // returned distributed training plan.
 //
-//	runner, err := heterog.GetRunner(modelFunc, inputFunc, deviceInfo, &heterog.Config{})
+//	runner, err := heterog.GetRunner(modelFunc, inputFunc, deviceInfo,
+//		heterog.WithEpisodes(8), heterog.WithRobustness(4, 0.5))
 //	report, err := runner.Run(500)
 //
 // GetRunner converts the single-GPU graph into a distributed one by choosing,
@@ -13,15 +14,31 @@
 // or AllReduce), and a global execution order — then simulates training on
 // the described cluster (this build targets the bundled simulator; see
 // DESIGN.md for the substitution rationale).
+//
+// Configuration is expressed through functional Options (WithEpisodes,
+// WithSeed, WithDefaultOrder, WithAgent, WithBatchEpisodes, WithRobustness,
+// WithFaultSeed). The legacy *Config struct remains accepted — it implements
+// Option itself — but is deprecated in favor of the options.
+//
+// Clusters degrade in production: WithRobustness makes planning score every
+// candidate across K deterministic fault scenarios (stragglers, contended
+// links, mid-iteration device loss, shrunken memory headroom) and optimize a
+// blend of nominal and worst-case time; Runner.RobustReport exposes the
+// resulting nominal/p95/worst-case profile, and Runner.Replan re-plans on a
+// degraded cluster reusing the warm agent.
 package heterog
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"heterog/internal/agent"
 	"heterog/internal/cluster"
 	"heterog/internal/core"
+	"heterog/internal/faults"
 	"heterog/internal/graph"
+	"heterog/internal/sim"
 	"heterog/internal/strategy"
 )
 
@@ -38,7 +55,97 @@ type InputFunc func() (batchSize int, err error)
 // device_info argument. Use cluster.New or a canned testbed.
 type DeviceInfo = cluster.Cluster
 
-// Config is the optional heterog_config object.
+// Typed errors, detectable with errors.Is on anything GetRunner, Replan or
+// Runner methods return.
+var (
+	// ErrOOM reports that the best plan found still overflows device
+	// memory: the model does not fit the described cluster at this batch.
+	ErrOOM = errors.New("heterog: no strategy fits device memory")
+	// ErrNoStrategy reports that strategy search produced no evaluable
+	// strategy at all (aliases the internal agent sentinel so wrapped
+	// search errors match it).
+	ErrNoStrategy = agent.ErrNoStrategy
+)
+
+// settings is the resolved planning configuration assembled from Options.
+type settings struct {
+	episodes        int
+	seed            int64
+	useDefaultOrder bool
+	agent           *agent.Agent
+	batchEpisodes   int
+	// robustness: faultK scenarios drawn from faultSeed, worst-case blend.
+	faultK    int
+	faultSeed int64
+	blend     float64
+}
+
+func defaultSettings() settings {
+	return settings{episodes: 6, seed: 1, faultSeed: 1}
+}
+
+// Option configures GetRunner. The legacy *Config also satisfies Option.
+type Option interface{ apply(*settings) }
+
+type optionFunc func(*settings)
+
+func (f optionFunc) apply(s *settings) { f(s) }
+
+// WithEpisodes sets the RL budget for strategy search on top of the
+// heuristic candidate pool (default 6).
+func WithEpisodes(n int) Option {
+	return optionFunc(func(s *settings) { s.episodes = n })
+}
+
+// WithSeed sets the profiling and agent seed (default 1).
+func WithSeed(seed int64) Option {
+	return optionFunc(func(s *settings) { s.seed = seed })
+}
+
+// WithDefaultOrder disables HeteroG's execution-order scheduling and keeps
+// the engine's FIFO order.
+func WithDefaultOrder() Option {
+	return optionFunc(func(s *settings) { s.useDefaultOrder = true })
+}
+
+// WithAgent plans with an existing strategy-search agent (e.g. one
+// pre-trained on other graphs) instead of a fresh one.
+func WithAgent(a *agent.Agent) Option {
+	return optionFunc(func(s *settings) { s.agent = a })
+}
+
+// WithBatchEpisodes sets the rollout batch size per policy update (0 keeps
+// the agent default).
+func WithBatchEpisodes(k int) Option {
+	return optionFunc(func(s *settings) { s.batchEpisodes = k })
+}
+
+// WithRobustness makes planning robustness-aware: every candidate strategy is
+// additionally scored on k deterministic fault scenarios of the cluster
+// (straggling GPUs, degraded links, a device dying mid-iteration, shrunken
+// memory headroom) and search optimizes the blend
+//
+//	R = (1-blend)·R_nominal + blend·R_worst-case
+//
+// of the paper's R = -sqrt(T) reward. blend <= 0 selects the default of 0.5.
+// The resulting nominal/p95/worst-case profile is available from
+// Runner.RobustReport.
+func WithRobustness(k int, blend float64) Option {
+	return optionFunc(func(s *settings) { s.faultK, s.blend = k, blend })
+}
+
+// WithFaultSeed sets the seed for fault-scenario generation (default 1).
+// Identical seeds yield bit-identical scenario sets and robustness scores.
+func WithFaultSeed(seed int64) Option {
+	return optionFunc(func(s *settings) { s.faultSeed = seed })
+}
+
+// Config is the legacy heterog_config object.
+//
+// Deprecated: pass Options instead (WithEpisodes, WithSeed, WithDefaultOrder,
+// WithAgent). A *Config still works as an Option — existing call sites keep
+// compiling — but new knobs (robustness, batched episodes) only exist as
+// Options.
 type Config struct {
 	// Episodes is the RL budget for strategy search on top of the
 	// heuristic candidate pool (default 6).
@@ -53,6 +160,26 @@ type Config struct {
 	Agent *agent.Agent
 }
 
+// apply adapts the legacy struct onto the option pipeline; nil receivers
+// (from old `GetRunner(..., nil)` call sites) are no-ops.
+func (c *Config) apply(s *settings) {
+	if c == nil {
+		return
+	}
+	if c.Episodes != 0 {
+		s.episodes = c.Episodes
+	}
+	if c.UseDefaultOrder {
+		s.useDefaultOrder = true
+	}
+	if c.Seed != 0 {
+		s.seed = c.Seed
+	}
+	if c.Agent != nil {
+		s.agent = c.Agent
+	}
+}
+
 // Runner executes a planned distributed training model.
 type Runner struct {
 	Graph    *graph.Graph
@@ -61,6 +188,8 @@ type Runner struct {
 	Strategy *strategy.Strategy
 
 	evaluator *core.Evaluator
+	agent     *agent.Agent
+	cfg       settings
 }
 
 // Report summarizes a training run.
@@ -75,17 +204,33 @@ type Report struct {
 	Stats strategy.Stats
 }
 
+// RobustReport is the public fault-scenario profile of a plan.
+type RobustReport struct {
+	// Scenarios is the number of fault scenarios scored.
+	Scenarios int
+	// NominalSec, P95Sec and WorstSec are per-iteration times on the
+	// unperturbed cluster, at the 95th percentile across scenarios, and
+	// under the worst scenario.
+	NominalSec, P95Sec, WorstSec float64
+	// OOMUnderFault counts scenarios whose memory shrinkage pushes the
+	// plan out of memory.
+	OOMUnderFault int
+	// WorstScenario names the slowest scenario ("nominal" if none is
+	// slower than the unperturbed cluster).
+	WorstScenario string
+	// Blend is the worst-case weight the plan was optimized under.
+	Blend float64
+}
+
 // GetRunner plans a distributed deployment for the model over the devices,
-// mirroring the paper's heterog.get_runner.
-func GetRunner(model ModelFunc, input InputFunc, devices *DeviceInfo, cfg *Config) (*Runner, error) {
-	if cfg == nil {
-		cfg = &Config{}
-	}
-	if cfg.Episodes == 0 {
-		cfg.Episodes = 6
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
+// mirroring the paper's heterog.get_runner. Options (or a legacy *Config)
+// tune the search; see the package documentation for the catalogue.
+func GetRunner(model ModelFunc, input InputFunc, devices *DeviceInfo, opts ...Option) (*Runner, error) {
+	cfg := defaultSettings()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
+		}
 	}
 	g, err := model()
 	if err != nil {
@@ -101,30 +246,45 @@ func GetRunner(model ModelFunc, input InputFunc, devices *DeviceInfo, cfg *Confi
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("heterog: invalid model graph: %w", err)
 	}
-	ev, err := core.NewEvaluator(g, devices, cfg.Seed)
+	return plan(g, devices, cfg)
+}
+
+// plan runs strategy search for an already-built graph under resolved
+// settings; GetRunner and Replan both land here.
+func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
+	ev, err := core.NewEvaluator(g, devices, cfg.seed)
 	if err != nil {
 		return nil, err
 	}
-	ev.UseFIFO = cfg.UseDefaultOrder
-	ag := cfg.Agent
+	ev.UseFIFO = cfg.useDefaultOrder
+	if cfg.faultK > 0 {
+		scs := faults.Generate(devices, faults.DefaultModel(cfg.faultK, cfg.faultSeed))
+		if err := ev.EnableRobustness(scs, cfg.blend); err != nil {
+			return nil, fmt.Errorf("heterog: %w", err)
+		}
+	}
+	ag := cfg.agent
 	if ag == nil {
 		acfg := agent.DefaultConfig(devices.NumDevices())
-		acfg.Seed = cfg.Seed
+		acfg.Seed = cfg.seed
+		if cfg.batchEpisodes > 0 {
+			acfg.BatchEpisodes = cfg.batchEpisodes
+		}
 		ag, err = agent.New(acfg, devices.NumDevices())
 		if err != nil {
 			return nil, err
 		}
 	}
-	plan, err := ag.Plan(ev, cfg.Episodes)
+	p, err := ag.Plan(ev, cfg.episodes)
 	if err != nil {
 		return nil, fmt.Errorf("heterog: strategy search: %w", err)
 	}
-	if plan.Result.OOM() {
-		return nil, fmt.Errorf("heterog: no strategy fits device memory for %s at batch %d", g.Name, g.BatchSize)
+	if p.Result.OOM() {
+		return nil, fmt.Errorf("%w: %s at batch %d", ErrOOM, g.Name, g.BatchSize)
 	}
 	return &Runner{
-		Graph: g, Cluster: devices, Plan: plan, Strategy: plan.Strategy,
-		evaluator: ev,
+		Graph: g, Cluster: devices, Plan: p, Strategy: p.Strategy,
+		evaluator: ev, agent: ag, cfg: cfg,
 	}, nil
 }
 
@@ -143,6 +303,66 @@ func (r *Runner) Run(steps int) (*Report, error) {
 		PeakMemBytes:    append([]int64(nil), r.Plan.Result.PeakMem...),
 		Stats:           r.Plan.StrategyStats(),
 	}, nil
+}
+
+// RobustReport returns the plan's fault-scenario profile, or nil when the
+// runner was planned without WithRobustness.
+func (r *Runner) RobustReport() *RobustReport {
+	rep := r.Plan.Robust
+	if rep == nil {
+		return nil
+	}
+	return &RobustReport{
+		Scenarios:     len(rep.Times),
+		NominalSec:    rep.Nominal,
+		P95Sec:        rep.P95,
+		WorstSec:      rep.Worst,
+		OOMUnderFault: rep.OOMFaults,
+		WorstScenario: rep.WorstScenario,
+		Blend:         rep.Blend,
+	}
+}
+
+// WriteTrace renders the planned schedule in the Chrome trace-event JSON
+// format (open in chrome://tracing or Perfetto), so library users get the
+// CLI's -trace output without reaching into internal/sim.
+func (r *Runner) WriteTrace(w io.Writer) error {
+	return sim.WriteChromeTrace(w, r.Plan.Dist, r.Plan.Result)
+}
+
+// Replan re-plans the same model on a changed (typically degraded) cluster —
+// after stragglers appear, links degrade, or a device is lost — reusing the
+// warm strategy-search agent when the device count allows: its learned
+// weights, reward baselines and encoder cache carry over, so replanning
+// converges faster than planning from scratch. When newDevices has a
+// different device count (e.g. a GPU was removed), the action space changes
+// and a fresh agent is built.
+//
+// The incumbent strategy is re-scored on the new cluster and kept if it still
+// wins, so a Replan never does worse than running the stale plan on the
+// degraded cluster. The original Runner is left untouched.
+func (r *Runner) Replan(newDevices *DeviceInfo) (*Runner, error) {
+	if newDevices == nil || newDevices.NumDevices() == 0 {
+		return nil, fmt.Errorf("heterog: replan needs a non-empty device set")
+	}
+	cfg := r.cfg
+	cfg.agent = nil
+	if newDevices.NumDevices() == r.Cluster.NumDevices() {
+		cfg.agent = r.agent
+	}
+	nr, err := plan(r.Graph, newDevices, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the incumbent strategy if it still beats the fresh plan on the
+	// new cluster (its grouping travels with it, so cross-cluster
+	// evaluation is well-defined as long as the device count matches).
+	if newDevices.NumDevices() == r.Cluster.NumDevices() {
+		if stale, err := nr.evaluator.Evaluate(r.Strategy); err == nil && stale.Score() < nr.Plan.Score() {
+			nr.Plan, nr.Strategy = stale, stale.Strategy
+		}
+	}
+	return nr, nil
 }
 
 // ZooModel adapts a bundled benchmark model into a ModelFunc.

@@ -1,10 +1,14 @@
 package heterog
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 
 	"heterog/internal/cluster"
+	"heterog/internal/faults"
 	"heterog/internal/graph"
 	"heterog/internal/models"
 )
@@ -75,5 +79,174 @@ func TestGetRunnerRejectsInfeasibleModel(t *testing.T) {
 	)
 	if err == nil {
 		t.Fatal("expected an infeasibility error")
+	}
+	if !errors.Is(err, ErrOOM) {
+		t.Fatalf("infeasibility must be detectable via errors.Is(err, ErrOOM), got %v", err)
+	}
+}
+
+func TestOptionsMatchLegacyConfig(t *testing.T) {
+	model := ZooModel(models.MobileNetV2, 64)
+	input := func() (int, error) { return 64, nil }
+	legacy, err := GetRunner(model, input, cluster.Testbed4(),
+		&Config{Episodes: 2, Seed: 7, UseDefaultOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := GetRunner(model, input, cluster.Testbed4(),
+		WithEpisodes(2), WithSeed(7), WithDefaultOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Plan.PerIter != modern.Plan.PerIter {
+		t.Fatalf("options and legacy Config must plan identically: %v vs %v",
+			legacy.Plan.PerIter, modern.Plan.PerIter)
+	}
+	// Options are applied in order; a later option overrides an earlier
+	// Config, so migration can be incremental.
+	mixed, err := GetRunner(model, input, cluster.Testbed4(),
+		&Config{Episodes: 9, Seed: 7, UseDefaultOrder: true}, WithEpisodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Plan.PerIter != modern.Plan.PerIter {
+		t.Fatalf("mixed Config+Option planning diverged: %v vs %v",
+			mixed.Plan.PerIter, modern.Plan.PerIter)
+	}
+}
+
+func TestRobustPlanningAndReport(t *testing.T) {
+	runner, err := GetRunner(
+		ZooModel(models.MobileNetV2, 64),
+		func() (int, error) { return 64, nil },
+		cluster.Testbed4(),
+		WithEpisodes(1), WithRobustness(3, 0.5), WithFaultSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := runner.RobustReport()
+	if rr == nil {
+		t.Fatal("WithRobustness must populate RobustReport")
+	}
+	if rr.Scenarios != 3 || rr.Blend != 0.5 {
+		t.Fatalf("report shape %d scenarios blend %v, want 3 and 0.5", rr.Scenarios, rr.Blend)
+	}
+	if rr.WorstSec < rr.NominalSec || rr.P95Sec > rr.WorstSec {
+		t.Fatalf("report ordering violated: nominal %v p95 %v worst %v", rr.NominalSec, rr.P95Sec, rr.WorstSec)
+	}
+	// Without WithRobustness the report is absent.
+	plain, err := GetRunner(ZooModel(models.MobileNetV2, 64),
+		func() (int, error) { return 64, nil }, cluster.Testbed4(), WithEpisodes(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RobustReport() != nil {
+		t.Fatal("nominal planning must not attach a robust report")
+	}
+}
+
+func TestWriteTraceProducesValidJSON(t *testing.T) {
+	runner, err := GetRunner(ZooModel(models.MobileNetV2, 64),
+		func() (int, error) { return 64, nil }, cluster.Testbed4(), WithEpisodes(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runner.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not Chrome trace-event JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace must contain events")
+	}
+}
+
+func TestReplanBeatsStalePlanOnDegradedCluster(t *testing.T) {
+	devices := cluster.Testbed8()
+	runner, err := GetRunner(ZooModel(models.VGG19, 192),
+		func() (int, error) { return 192, nil }, devices, WithEpisodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the cluster with the worst of the example's fault scenarios.
+	scs := faults.Generate(devices, faults.DefaultModel(4, 1))
+	var worst *faults.Scenario
+	var worstT float64
+	for _, sc := range scs {
+		degraded := sc.Apply(devices)
+		nr, err := runner.Replan(degraded)
+		if err != nil {
+			t.Fatalf("replan on %s: %v", sc.Name, err)
+		}
+		stale, err := nr.evaluator.Evaluate(runner.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The incumbent is re-scored during Replan, so the replanned
+		// runner can never lose to the stale plan.
+		if nr.Plan.PerIter > stale.PerIter {
+			t.Fatalf("%s: replanned %.4f slower than stale %.4f", sc.Name, nr.Plan.PerIter, stale.PerIter)
+		}
+		if stale.PerIter > worstT {
+			worst, worstT = sc, stale.PerIter
+		}
+	}
+	// On the worst scenario the warm replan must strictly improve (this is
+	// the bundled examples/faulty outcome).
+	nr, err := runner.Replan(worst.Apply(devices))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Plan.PerIter >= worstT {
+		t.Fatalf("replan on worst scenario did not improve: %.4f vs stale %.4f", nr.Plan.PerIter, worstT)
+	}
+}
+
+func TestReplanAfterDeviceLoss(t *testing.T) {
+	devices := cluster.Testbed4()
+	runner, err := GetRunner(ZooModel(models.MobileNetV2, 64),
+		func() (int, error) { return 64, nil }, devices, WithEpisodes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors, err := devices.WithoutDevice(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := runner.Replan(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Cluster.NumDevices() != 3 {
+		t.Fatalf("replanned cluster has %d devices, want 3", nr.Cluster.NumDevices())
+	}
+	if nr.Plan.PerIter <= 0 {
+		t.Fatal("replanned per-iteration time must be positive")
+	}
+	// The original runner is untouched.
+	if runner.Cluster.NumDevices() != 4 {
+		t.Fatal("Replan must not mutate the original runner")
+	}
+	if _, err := runner.Replan(nil); err == nil {
+		t.Fatal("Replan(nil) must error")
+	}
+}
+
+func TestErrNoStrategyAliasing(t *testing.T) {
+	// The public sentinel must match errors wrapped around the internal one.
+	if !errors.Is(ErrNoStrategy, ErrNoStrategy) {
+		t.Fatal("sentinel self-identity broken")
+	}
+	// agent.Plan wraps the internal sentinel; the public alias must match
+	// the wrapped form.
+	wrapped := fmt.Errorf("heterog: strategy search: %w", fmt.Errorf("%w for %s", ErrNoStrategy, "test"))
+	if !errors.Is(wrapped, ErrNoStrategy) {
+		t.Fatalf("wrapped search error must match ErrNoStrategy: %v", wrapped)
 	}
 }

@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -12,6 +13,11 @@ import (
 	"heterog/internal/policy"
 	"heterog/internal/strategy"
 )
+
+// ErrNoStrategy reports that strategy search produced no evaluable strategy
+// at all. The public API surfaces it as heterog.ErrNoStrategy; detect it with
+// errors.Is.
+var ErrNoStrategy = errors.New("no feasible strategy")
 
 // Config sizes the agent.
 type Config struct {
@@ -385,11 +391,13 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 		return nil, err
 	}
 	var best *core.Evaluation
+	// Score is the nominal per-iteration time, or the blended
+	// nominal/worst-case objective when the evaluator is in robustness mode.
 	consider := func(e *core.Evaluation) {
 		if e == nil {
 			return
 		}
-		if best == nil || e.Time() < best.Time() {
+		if best == nil || e.Score() < best.Score() {
 			best = e
 		}
 	}
@@ -460,7 +468,7 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 		consider(ep.Eval)
 	}
 	if best == nil {
-		return nil, fmt.Errorf("no feasible strategy found for %s", ev.Graph.Name)
+		return nil, fmt.Errorf("%w for %s", ErrNoStrategy, ev.Graph.Name)
 	}
 	// Execution order is part of the produced configuration (§3.5's
 	// heterog_config chooses between the default order and the scheduling

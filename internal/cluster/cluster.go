@@ -155,6 +155,79 @@ func New(name string, servers ...Config) *Cluster {
 	return c
 }
 
+// Clone returns a deep copy sharing no mutable state with the original, so
+// callers (e.g. fault-scenario generators) can perturb device models and link
+// bandwidths without touching the source topology.
+func (c *Cluster) Clone() *Cluster {
+	out := &Cluster{
+		Name:    c.Name,
+		Servers: make([]Server, len(c.Servers)),
+		Devices: append([]Device(nil), c.Devices...),
+		Links:   append([]Link(nil), c.Links...),
+		linkIdx: make(map[[2]int]int, len(c.linkIdx)),
+	}
+	for i, s := range c.Servers {
+		out.Servers[i] = s
+		out.Servers[i].Devices = append([]int(nil), s.Devices...)
+	}
+	for k, v := range c.linkIdx {
+		out.linkIdx[k] = v
+	}
+	return out
+}
+
+// WithoutDevice returns a copy of the cluster with one GPU removed: surviving
+// devices are renumbered densely in their original order and the surviving
+// links keep their (possibly perturbed) bandwidths and latencies. Servers left
+// with no GPUs remain in the topology (their NIC stays available to nobody),
+// matching how a dead accelerator leaves its host in place.
+func (c *Cluster) WithoutDevice(id int) (*Cluster, error) {
+	if id < 0 || id >= len(c.Devices) {
+		return nil, fmt.Errorf("cluster: no device %d to remove", id)
+	}
+	if len(c.Devices) == 1 {
+		return nil, fmt.Errorf("cluster: cannot remove the last device")
+	}
+	out := &Cluster{
+		Name:    fmt.Sprintf("%s-minus-G%d", c.Name, id),
+		linkIdx: make(map[[2]int]int),
+	}
+	remap := make([]int, len(c.Devices))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, d := range c.Devices {
+		if d.ID == id {
+			continue
+		}
+		remap[d.ID] = len(out.Devices)
+		nd := d
+		nd.ID = remap[d.ID]
+		out.Devices = append(out.Devices, nd)
+	}
+	for _, s := range c.Servers {
+		ns := s
+		ns.Devices = nil
+		for _, d := range s.Devices {
+			if remap[d] >= 0 {
+				ns.Devices = append(ns.Devices, remap[d])
+			}
+		}
+		out.Servers = append(out.Servers, ns)
+	}
+	for _, l := range c.Links {
+		if remap[l.Src] < 0 || remap[l.Dst] < 0 {
+			continue
+		}
+		nl := l
+		nl.Index = len(out.Links)
+		nl.Src, nl.Dst = remap[l.Src], remap[l.Dst]
+		out.linkIdx[[2]int{nl.Src, nl.Dst}] = nl.Index
+		out.Links = append(out.Links, nl)
+	}
+	return out, nil
+}
+
 // NumDevices returns the number of GPUs.
 func (c *Cluster) NumDevices() int { return len(c.Devices) }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -200,5 +201,71 @@ func TestTransferMonotoneInBytesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Testbed8()
+	cl := c.Clone()
+	if !reflect.DeepEqual(c.Devices, cl.Devices) || !reflect.DeepEqual(c.Links, cl.Links) || !reflect.DeepEqual(c.Servers, cl.Servers) {
+		t.Fatal("clone must start identical")
+	}
+	cl.Devices[0].Model.MemBytes = 1
+	cl.Links[0].Bandwidth = 1
+	cl.Servers[0].Devices[0] = 99
+	if c.Devices[0].Model.MemBytes == 1 || c.Links[0].Bandwidth == 1 || c.Servers[0].Devices[0] == 99 {
+		t.Fatal("mutating the clone must not touch the original")
+	}
+	if _, err := cl.LinkBetween(0, 1); err != nil {
+		t.Fatalf("clone link index broken: %v", err)
+	}
+}
+
+func TestWithoutDevice(t *testing.T) {
+	c := Testbed8()
+	// Perturb one surviving link so we can check perturbations survive
+	// removal.
+	c.Links[c.NumLinks()-1].Bandwidth = 12345
+	sv, err := c.WithoutDevice(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumDevices() != 7 {
+		t.Fatalf("got %d devices, want 7", sv.NumDevices())
+	}
+	for i, d := range sv.Devices {
+		if d.ID != i {
+			t.Fatalf("device IDs must be dense, got %d at %d", d.ID, i)
+		}
+	}
+	if got, want := sv.NumLinks(), 7*6; got != want {
+		t.Fatalf("got %d links, want %d", got, want)
+	}
+	// Old G4..G7 renumber to 3..6; the perturbed last link (G7->G6) must
+	// keep its bandwidth at its new index.
+	l, err := sv.LinkBetween(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Bandwidth != 12345 {
+		t.Fatalf("perturbed link bandwidth lost: %v", l.Bandwidth)
+	}
+	// Every surviving pair must still resolve.
+	for _, a := range sv.Devices {
+		for _, b := range sv.Devices {
+			if a.ID == b.ID {
+				continue
+			}
+			if _, err := sv.LinkBetween(a.ID, b.ID); err != nil {
+				t.Fatalf("missing link %d->%d: %v", a.ID, b.ID, err)
+			}
+		}
+	}
+	if _, err := c.WithoutDevice(99); err == nil {
+		t.Fatal("removing a nonexistent device must error")
+	}
+	single := Homogeneous(1, GTX1080Ti)
+	if _, err := single.WithoutDevice(0); err == nil {
+		t.Fatal("removing the last device must error")
 	}
 }

@@ -33,6 +33,10 @@ type Evaluation struct {
 	// ComputeTime and CommTime are the per-iteration busiest-GPU and
 	// busiest-comm-unit occupancies (Fig 8's breakdown).
 	ComputeTime, CommTime float64
+	// Robust carries the fault-scenario scores when the evaluator is in
+	// robustness mode (nil otherwise). Cache-stored evaluations never carry
+	// a report; it is attached to the per-call header copy.
+	Robust *RobustReport
 }
 
 // Time returns the per-iteration time, or +Inf on OOM so that comparisons
@@ -93,13 +97,25 @@ type Evaluator struct {
 	// Ablate disables individual compiler mechanisms (ablation studies).
 	Ablate compiler.Ablations
 	// Cache memoizes full evaluations keyed by the canonical fingerprint of
-	// (per-op decisions, execution order, iterations, ablations), so
-	// resampled strategies skip the compile → rank → simulate pipeline. Nil
-	// disables memoization. The cache is safe for concurrent use; value
+	// (per-op decisions, execution order, iterations, ablations, scenario),
+	// so resampled strategies skip the compile → rank → simulate pipeline.
+	// Nil disables memoization. The cache is safe for concurrent use; value
 	// copies of an Evaluator (e.g. a FIFO twin) share it, with the differing
-	// knobs folded into the key. It must not be shared across different
-	// (graph, cluster, cost model) triples.
+	// knobs folded into the key, and so do the fault-scenario twins built by
+	// EnableRobustness, distinguished by ScenarioTag. It must not be shared
+	// across otherwise different (graph, cluster, cost model) triples.
 	Cache *evalcache.Cache[*Evaluation]
+	// ScenarioTag distinguishes cache keys of fault-scenario twins sharing
+	// the nominal evaluator's cache: 0 is the nominal cluster, 1+k the k-th
+	// scenario perturbation.
+	ScenarioTag uint64
+	// Seed is the profiling seed the evaluator was built with; replanning on
+	// a degraded cluster reuses it so the re-profile stays comparable.
+	Seed int64
+	// Robust, when non-nil, puts the evaluator in robustness mode: Evaluate
+	// additionally scores the strategy across the configured fault scenarios
+	// and attaches a RobustReport, and Reward blends nominal with worst-case.
+	Robust *Robustness
 }
 
 // NewEvaluator profiles the graph on the cluster and returns an evaluator
@@ -109,22 +125,32 @@ func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, e
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", g.Name, err)
 	}
-	return &Evaluator{Graph: g, Cluster: c, Cost: cm, Cache: evalcache.New[*Evaluation](0)}, nil
+	return &Evaluator{Graph: g, Cluster: c, Cost: cm, Seed: seed, Cache: evalcache.New[*Evaluation](0)}, nil
 }
 
 // Evaluate compiles, orders and simulates one strategy, short-circuiting
 // through the evaluation cache when an identical request was already
 // simulated. Cache hits return a copy of the Evaluation header carrying the
 // caller's Strategy pointer; the Dist and Result payloads are shared and must
-// be treated as read-only (every consumer already does).
+// be treated as read-only (every consumer already does). In robustness mode
+// the returned header additionally carries a freshly aggregated RobustReport
+// (the per-scenario simulations behind it are themselves cached).
 func (ev *Evaluator) Evaluate(s *strategy.Strategy) (*Evaluation, error) {
+	e, err := ev.evaluate(s)
+	if err != nil || ev.Robust == nil {
+		return e, err
+	}
+	return ev.Robust.attach(ev, s, e)
+}
+
+func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 	iters := ev.Iterations
 	if iters <= 0 {
 		iters = 3
 	}
 	var key evalcache.Key
 	if ev.Cache != nil {
-		key = evalcache.Fingerprint(s, ev.UseFIFO, iters, ev.Ablate)
+		key = evalcache.Fingerprint(s, ev.UseFIFO, iters, ev.Ablate, ev.ScenarioTag)
 		if hit, ok := ev.Cache.Get(key); ok {
 			e := *hit
 			e.Strategy = s
@@ -181,12 +207,46 @@ func (e *Evaluation) StrategyStats() strategy.Stats {
 	return st
 }
 
-// Reward converts an evaluation into the paper's RL reward: R = -sqrt(T),
+// rawReward is the paper's RL reward for one simulated outcome: R = -sqrt(T),
 // multiplied by 10 when the strategy overflows device memory.
-func Reward(e *Evaluation) float64 {
-	r := -math.Sqrt(e.PerIter)
-	if e.Result.OOM() {
+func rawReward(perIter float64, oom bool) float64 {
+	r := -math.Sqrt(perIter)
+	if oom {
 		r *= 10
 	}
 	return r
+}
+
+// Reward converts an evaluation into the RL reward. Nominally it is the
+// paper's R = -sqrt(T) with the x10 OOM penalty; in robustness mode it blends
+// the nominal reward with the worst reward across the fault scenarios,
+// weighted by the robustness blend b:
+//
+//	R = (1-b)·R_nominal + b·min(R_nominal, R_scenario...)
+func Reward(e *Evaluation) float64 {
+	r := rawReward(e.PerIter, e.Result.OOM())
+	if e.Robust == nil {
+		return r
+	}
+	worst := r
+	for i, t := range e.Robust.Times {
+		if ri := rawReward(t, e.Robust.OOMs[i]); ri < worst {
+			worst = ri
+		}
+	}
+	return (1-e.Robust.Blend)*r + e.Robust.Blend*worst
+}
+
+// Score is the planning objective as a "lower is better" scalar: the nominal
+// per-iteration time (+Inf on OOM, so feasible strategies always win), or, in
+// robustness mode, the negated blended reward — monotone in Reward, so the
+// planner picks exactly what the RL objective prefers.
+func (e *Evaluation) Score() float64 {
+	if e.Result.OOM() {
+		return math.Inf(1)
+	}
+	if e.Robust == nil {
+		return e.PerIter
+	}
+	return -Reward(e)
 }

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"heterog/internal/faults"
+	"heterog/internal/strategy"
+)
+
+// robustEvaluatorFor builds a small evaluator with robustness over k
+// scenarios enabled.
+func robustEvaluatorFor(t *testing.T, k int, seed int64, blend float64) *Evaluator {
+	t.Helper()
+	ev := evaluatorFor(t, "mobilenet_v2", 64, 4)
+	scs := faults.Generate(ev.Cluster, faults.DefaultModel(k, seed))
+	if err := ev.EnableRobustness(scs, blend); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestRobustEvaluateAttachesReport(t *testing.T) {
+	ev := robustEvaluatorFor(t, 4, 1, 0.5)
+	e, err := ev.Evaluate(uniform(t, ev, strategy.DPEvenAR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Robust
+	if rep == nil {
+		t.Fatal("robust mode must attach a report")
+	}
+	if len(rep.Times) != 4 || len(rep.OOMs) != 4 {
+		t.Fatalf("report covers %d/%d scenarios, want 4", len(rep.Times), len(rep.OOMs))
+	}
+	if rep.Nominal != e.PerIter {
+		t.Fatalf("report nominal %v != evaluation per-iter %v", rep.Nominal, e.PerIter)
+	}
+	if rep.Worst < rep.Nominal {
+		t.Fatalf("worst %v below nominal %v: faults only degrade", rep.Worst, rep.Nominal)
+	}
+	if rep.P95 > rep.Worst || rep.P95 < rep.Nominal {
+		t.Fatalf("p95 %v outside [nominal %v, worst %v]", rep.P95, rep.Nominal, rep.Worst)
+	}
+	for k, tm := range rep.Times {
+		if tm <= 0 {
+			t.Fatalf("scenario %d time %v must be positive", k, tm)
+		}
+	}
+	if rep.Blend != 0.5 {
+		t.Fatalf("blend %v, want 0.5", rep.Blend)
+	}
+}
+
+func TestRobustScoresDeterministic(t *testing.T) {
+	build := func() (*RobustReport, float64) {
+		ev := robustEvaluatorFor(t, 3, 99, 0.5)
+		e, err := ev.Evaluate(uniform(t, ev, strategy.DPPropPS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Robust, Reward(e)
+	}
+	repA, rewardA := build()
+	repB, rewardB := build()
+	if !reflect.DeepEqual(repA, repB) {
+		t.Fatalf("same fault seed must yield bit-identical robustness reports:\n%+v\n%+v", repA, repB)
+	}
+	if rewardA != rewardB {
+		t.Fatalf("rewards diverge: %v vs %v", rewardA, rewardB)
+	}
+}
+
+// TestRobustScoresDeterministicConcurrent drives the scenario fan-out from
+// many goroutines at once (the batched-rollout shape) under -race, checking
+// the aggregation is both race-free and order-independent.
+func TestRobustScoresDeterministicConcurrent(t *testing.T) {
+	ev := robustEvaluatorFor(t, 4, 5, 0.5)
+	s := uniform(t, ev, strategy.DPEvenPS)
+	want, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*Evaluation, 8)
+	errs := make([]error, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = ev.Evaluate(s)
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(got[i].Robust, want.Robust) {
+			t.Fatalf("concurrent evaluation %d diverged", i)
+		}
+	}
+}
+
+func TestRobustRewardBlendsWorstCase(t *testing.T) {
+	ev := robustEvaluatorFor(t, 4, 1, 0.5)
+	s := uniform(t, ev, strategy.DPEvenAR)
+	e, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominalOnly := rawReward(e.PerIter, e.Result.OOM())
+	r := Reward(e)
+	if r > nominalOnly {
+		t.Fatalf("robust reward %v above nominal-only %v: faults only degrade", r, nominalOnly)
+	}
+	// Blend 1 is pure worst case, blend->0 approaches nominal.
+	worst := nominalOnly
+	for i, tm := range e.Robust.Times {
+		if ri := rawReward(tm, e.Robust.OOMs[i]); ri < worst {
+			worst = ri
+		}
+	}
+	e.Robust.Blend = 1
+	if got := Reward(e); math.Abs(got-worst) > 1e-12 {
+		t.Fatalf("blend 1 reward %v, want worst %v", got, worst)
+	}
+	if e.Score() <= 0 || math.IsInf(e.Score(), 0) {
+		t.Fatalf("robust score must be a finite positive scalar, got %v", e.Score())
+	}
+}
+
+func TestRobustScenarioCacheSharing(t *testing.T) {
+	ev := robustEvaluatorFor(t, 4, 1, 0.5)
+	s := uniform(t, ev, strategy.DPEvenAR)
+	if _, err := ev.Evaluate(s); err != nil {
+		t.Fatal(err)
+	}
+	st := ev.Cache.Stats()
+	// Nominal + 4 scenarios = 5 distinct entries under one shared cache.
+	if st.Len != 5 {
+		t.Fatalf("cache holds %d entries after one robust evaluation, want 5", st.Len)
+	}
+	if _, err := ev.Evaluate(s); err != nil {
+		t.Fatal(err)
+	}
+	st2 := ev.Cache.Stats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("repeat robust evaluation missed the cache (%d -> %d misses)", st.Misses, st2.Misses)
+	}
+	if st2.Hits < st.Hits+5 {
+		t.Fatalf("repeat robust evaluation must hit nominal+scenarios, hits %d -> %d", st.Hits, st2.Hits)
+	}
+}
+
+func TestEnableRobustnessGuards(t *testing.T) {
+	ev := robustEvaluatorFor(t, 2, 1, 0)
+	if ev.Robust.Blend != DefaultBlend {
+		t.Fatalf("blend<=0 must select DefaultBlend, got %v", ev.Robust.Blend)
+	}
+	scs := faults.Generate(ev.Cluster, faults.DefaultModel(2, 1))
+	if err := ev.EnableRobustness(scs, 0.5); err == nil {
+		t.Fatal("double enable must error")
+	}
+	twin := &Evaluator{ScenarioTag: 1}
+	if err := twin.EnableRobustness(scs, 0.5); err == nil {
+		t.Fatal("enabling robustness on a scenario twin must error")
+	}
+}

@@ -27,7 +27,7 @@ func TestFingerprintCanonicalOverGroupPermutation(t *testing.T) {
 		Grouping:  grouping([]int{1, 1, 0, 0}, 2),
 		Decisions: []strategy.Decision{{Kind: strategy.DPEvenAR}, {Kind: strategy.MP, Device: 2}},
 	}
-	if Fingerprint(a, false, 3, compiler.Ablations{}) != Fingerprint(b, false, 3, compiler.Ablations{}) {
+	if Fingerprint(a, false, 3, compiler.Ablations{}, 0) != Fingerprint(b, false, 3, compiler.Ablations{}, 0) {
 		t.Fatal("permuted groupings with identical op decisions must share a key")
 	}
 }
@@ -36,7 +36,7 @@ func TestFingerprintIgnoresDPDevice(t *testing.T) {
 	gr := grouping([]int{0}, 1)
 	a := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{{Kind: strategy.DPPropPS, Device: 3}}}
 	b := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{{Kind: strategy.DPPropPS}}}
-	if Fingerprint(a, false, 3, compiler.Ablations{}) != Fingerprint(b, false, 3, compiler.Ablations{}) {
+	if Fingerprint(a, false, 3, compiler.Ablations{}, 0) != Fingerprint(b, false, 3, compiler.Ablations{}, 0) {
 		t.Fatal("DP decisions must ignore the (unused) placement device")
 	}
 }
@@ -44,15 +44,17 @@ func TestFingerprintIgnoresDPDevice(t *testing.T) {
 func TestFingerprintSeparatesEvaluationKnobs(t *testing.T) {
 	gr := grouping([]int{0, 0}, 1)
 	s := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{{Kind: strategy.DPEvenPS}}}
-	base := Fingerprint(s, false, 3, compiler.Ablations{})
+	base := Fingerprint(s, false, 3, compiler.Ablations{}, 0)
 	distinct := []Key{
 		base,
-		Fingerprint(s, true, 3, compiler.Ablations{}),
-		Fingerprint(s, false, 5, compiler.Ablations{}),
-		Fingerprint(s, false, 3, compiler.Ablations{DensePS: true}),
-		Fingerprint(s, false, 3, compiler.Ablations{NoNCCLSerialization: true}),
-		Fingerprint(s, false, 3, compiler.Ablations{FreeCollectiveLaunch: true}),
-		Fingerprint(s, false, 3, compiler.Ablations{NoHierarchicalPull: true}),
+		Fingerprint(s, true, 3, compiler.Ablations{}, 0),
+		Fingerprint(s, false, 5, compiler.Ablations{}, 0),
+		Fingerprint(s, false, 3, compiler.Ablations{DensePS: true}, 0),
+		Fingerprint(s, false, 3, compiler.Ablations{NoNCCLSerialization: true}, 0),
+		Fingerprint(s, false, 3, compiler.Ablations{FreeCollectiveLaunch: true}, 0),
+		Fingerprint(s, false, 3, compiler.Ablations{NoHierarchicalPull: true}, 0),
+		Fingerprint(s, false, 3, compiler.Ablations{}, 1),
+		Fingerprint(s, false, 3, compiler.Ablations{}, 2),
 	}
 	seen := map[Key]int{}
 	for i, k := range distinct {
@@ -62,7 +64,7 @@ func TestFingerprintSeparatesEvaluationKnobs(t *testing.T) {
 		seen[k] = i
 	}
 	other := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{{Kind: strategy.MP, Device: 1}}}
-	if Fingerprint(other, false, 3, compiler.Ablations{}) == base {
+	if Fingerprint(other, false, 3, compiler.Ablations{}, 0) == base {
 		t.Fatal("different decisions must not collide")
 	}
 }

@@ -10,24 +10,30 @@ import (
 
 // Key is the canonical fingerprint of one evaluation request. Keys from
 // different (graph, cluster, cost model) triples are not comparable — a cache
-// must not be shared across evaluators for different triples (the evaluator
-// builds one cache per triple, and its FIFO twin shares it, distinguished by
-// the order flag inside the key).
+// must not be shared across evaluators for different triples, with two
+// sanctioned exceptions: an evaluator's FIFO twin shares its cache
+// (distinguished by the order flag inside the key), and fault-scenario twins
+// derived from one nominal evaluator share it too (distinguished by the
+// scenario tag inside the key).
 type Key [sha256.Size]byte
 
 // Fingerprint derives the cache key for evaluating strategy s with the given
-// execution order, chained iteration count and compiler ablations.
+// execution order, chained iteration count, compiler ablations and
+// fault-scenario tag (0 = the nominal, unperturbed cluster; scenario twins
+// pass 1+scenario index).
 //
 // The decision stream is canonicalized to per-op effective decisions: two
 // strategies whose groupings permute group indices (or split groups
 // differently) but assign every op the same decision compile to the same
 // distributed graph, so they intentionally share a key. Placement devices are
 // ignored for DP decisions, which the compiler never reads them for.
-func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler.Ablations) Key {
+func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler.Ablations, scenario uint64) Key {
 	n := len(s.Grouping.GroupOf)
-	buf := make([]byte, 0, 16+3*n)
+	buf := make([]byte, 0, 24+3*n)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(iterations))
+	buf = append(buf, hdr[:]...)
+	binary.LittleEndian.PutUint64(hdr[:], scenario)
 	buf = append(buf, hdr[:]...)
 	var flags byte
 	if useFIFO {

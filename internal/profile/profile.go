@@ -150,6 +150,9 @@ type CostModel struct {
 	opTime map[int]map[int]linReg
 	// xfer[linkIndex] predicts transfer seconds from bytes.
 	xfer []linReg
+	// synthScale[deviceID] multiplies synthetic-op times on fault-perturbed
+	// twins (nil means nominal: all ones).
+	synthScale []float64
 	// MemoryFudge scales activation memory to account for framework workspace.
 	MemoryFudge float64
 }
@@ -228,6 +231,41 @@ func Profile(g *graph.Graph, c *cluster.Cluster, opts Options) (*CostModel, erro
 // Cluster returns the topology this model was profiled on.
 func (cm *CostModel) Cluster() *cluster.Cluster { return cm.cluster }
 
+// Perturbed derives a cost model for a fault-perturbed twin of the profiled
+// cluster without re-profiling: per-op regressions on device d are scaled by
+// devSlow[d] (a straggler's ops take proportionally longer), and per-link
+// transfer slopes are divided by linkFactor[i] (a link at a fraction of its
+// bandwidth moves bytes proportionally slower; the latency intercept is
+// unchanged). pc must be index-compatible with the profiled cluster — same
+// device and link numbering — which holds for clusters produced by
+// faults.(*Scenario).Apply. Skipping the re-profile keeps scenario scoring
+// deterministic: no fresh measurement noise is drawn.
+func (cm *CostModel) Perturbed(pc *cluster.Cluster, devSlow, linkFactor []float64) (*CostModel, error) {
+	if len(devSlow) != len(cm.opTime) || len(linkFactor) != len(cm.xfer) {
+		return nil, fmt.Errorf("profile: perturbation sized for %d devices/%d links, cost model has %d/%d",
+			len(devSlow), len(linkFactor), len(cm.opTime), len(cm.xfer))
+	}
+	out := &CostModel{
+		cluster:     pc,
+		opTime:      make(map[int]map[int]linReg, len(cm.opTime)),
+		xfer:        make([]linReg, len(cm.xfer)),
+		synthScale:  append([]float64(nil), devSlow...),
+		MemoryFudge: cm.MemoryFudge,
+	}
+	for dev, m := range cm.opTime {
+		f := devSlow[dev]
+		scaled := make(map[int]linReg, len(m))
+		for id, reg := range m {
+			scaled[id] = linReg{a: reg.a * f, b: reg.b * f}
+		}
+		out.opTime[dev] = scaled
+	}
+	for i, reg := range cm.xfer {
+		out.xfer[i] = linReg{a: reg.a, b: reg.b / linkFactor[i]}
+	}
+	return out, nil
+}
+
 // OpTime predicts execution time of op on device at a per-replica batch
 // fraction of the graph's reference batch.
 func (cm *CostModel) OpTime(op *graph.Op, device int, batchFrac float64) float64 {
@@ -256,7 +294,11 @@ func (cm *CostModel) SyntheticOpTime(op *graph.Op, device int, batchFrac float64
 	}
 	// ~550 GB/s effective memory bandwidth on all parts; dominated by launch
 	// overhead for small tensors.
-	return kernelLaunchOverhead + bytes/(550e9)
+	t := kernelLaunchOverhead + bytes/(550e9)
+	if cm.synthScale != nil {
+		t *= cm.synthScale[device]
+	}
+	return t
 }
 
 // TransferTime predicts moving bytes over the directed link src->dst.
