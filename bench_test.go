@@ -14,10 +14,10 @@ import (
 
 	"heterog/internal/agent"
 	"heterog/internal/cluster"
-	"heterog/internal/compiler"
 	"heterog/internal/core"
 	"heterog/internal/experiments"
 	"heterog/internal/models"
+	"heterog/internal/plan"
 	"heterog/internal/sched"
 	"heterog/internal/sim"
 	"heterog/internal/strategy"
@@ -391,7 +391,7 @@ func BenchmarkRunEpisodesParallel(b *testing.B) {
 func BenchmarkSimReuse(b *testing.B) {
 	ev := benchEvaluator(b)
 	s := benchStrategy(b, ev)
-	dg, err := compiler.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	dg, err := plan.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func BenchmarkSimReuse(b *testing.B) {
 func BenchmarkSimPooledRun(b *testing.B) {
 	ev := benchEvaluator(b)
 	s := benchStrategy(b, ev)
-	dg, err := compiler.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	dg, err := plan.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
 	if err != nil {
 		b.Fatal(err)
 	}

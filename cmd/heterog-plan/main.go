@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"heterog/internal/agent"
 	"heterog/internal/baselines"
@@ -40,6 +41,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-scenario seed (same seed = identical scenarios)")
 	robust := flag.Bool("robust", false, "optimize the blended nominal/worst-case objective instead of nominal time (needs -faults)")
 	blend := flag.Float64("blend", 0.5, "worst-case weight in the robust objective")
+	dumpPasses := flag.Bool("dump-passes", false, "print per-pass planning-pipeline stats (timings, op/byte counts, recompiles avoided)")
 	flag.Parse()
 
 	var c *cluster.Cluster
@@ -178,5 +180,14 @@ func main() {
 	}
 	if *verbose {
 		fmt.Print(sim.GanttSummary(plan.Dist, plan.Result))
+	}
+	if *dumpPasses {
+		pr := ev.PipelineReport()
+		fmt.Printf("planning pipeline (%d lowerings, %d recompiles avoided via cached artifacts):\n",
+			pr.Lowerings, pr.Reused)
+		fmt.Printf("  %-22s %6s %12s %10s %14s\n", "pass", "runs", "total", "ops", "bytes")
+		for _, ps := range pr.Passes {
+			fmt.Printf("  %-22s %6d %12s %10d %14d\n", ps.Name, ps.Runs, ps.Total.Round(time.Microsecond), ps.Ops, ps.Bytes)
+		}
 	}
 }

@@ -323,11 +323,31 @@ func (r *Runner) RobustReport() *RobustReport {
 	}
 }
 
+// PipelineReport returns the planning-pipeline instrumentation accumulated
+// while this runner was planned: per-pass wall time, op and byte counts in
+// pipeline order, how many full lowerings ran, and how many evaluations
+// reused a cached lowered artifact instead of recompiling (the
+// ranked-vs-FIFO and fault-scenario fast path).
+func (r *Runner) PipelineReport() core.PipelineReport {
+	return r.evaluator.PipelineReport()
+}
+
 // WriteTrace renders the planned schedule in the Chrome trace-event JSON
 // format (open in chrome://tracing or Perfetto), so library users get the
-// CLI's -trace output without reaching into internal/sim.
+// CLI's -trace output without reaching into internal/sim. The trace carries
+// a "heterog" metadata record with the planning-pipeline provenance (per-pass
+// timings and artifact-reuse counts) alongside the schedule.
 func (r *Runner) WriteTrace(w io.Writer) error {
-	return sim.WriteChromeTrace(w, r.Plan.Dist, r.Plan.Result)
+	rep := r.PipelineReport()
+	meta := map[string]string{
+		"lowerings":          fmt.Sprintf("%d", rep.Lowerings),
+		"recompiles_avoided": fmt.Sprintf("%d", rep.Reused),
+	}
+	for _, ps := range rep.Passes {
+		meta["pass."+ps.Name] = fmt.Sprintf("runs=%d total=%s ops=%d bytes=%d",
+			ps.Runs, ps.Total, ps.Ops, ps.Bytes)
+	}
+	return sim.WriteChromeTraceMeta(w, r.Plan.Dist, r.Plan.Result, meta)
 }
 
 // Replan re-plans the same model on a changed (typically degraded) cluster —

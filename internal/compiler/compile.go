@@ -1,13 +1,24 @@
 package compiler
 
 import (
-	"fmt"
-	"sort"
-
 	"heterog/internal/cluster"
 	"heterog/internal/graph"
 	"heterog/internal/strategy"
 )
+
+// The compilation pipeline itself lives in internal/plan: placement, edge
+// lowering, aggregation lowering, memory planning, materialization and
+// verification are individual passes over a shared plan IR (plan.Compile and
+// friends are the entry points). This package retains the distributed-graph
+// IR (dist.go) and the contracts shared by the pipeline and its consumers:
+// the cost-model interface, strategy-resolution and replica-count helpers,
+// ablation switches, and the memory fusion discount.
+
+// IRVersion identifies the lowering scheme producing DistGraphs. It is mixed
+// into evaluation-cache fingerprints so cached results from an older
+// compiler/pipeline can never be served after the lowering changes. Bump it
+// whenever a change alters the emitted distributed graph.
+const IRVersion = "plan-ir/1"
 
 // Coster supplies profiled cost predictions. *profile.CostModel satisfies it.
 type Coster interface {
@@ -15,10 +26,6 @@ type Coster interface {
 	SyntheticOpTime(op *graph.Op, device int, batchFrac float64) float64
 	TransferTime(src, dst int, bytes int64) float64
 }
-
-// activationFudge inflates transient activation allocations for framework
-// workspace (cuDNN scratch, fragmentation).
-const activationFudge = 1.12
 
 // EffectiveDecision resolves the strategy decision applying to an op:
 // backward and apply ops follow their forward op's group decision so that a
@@ -28,34 +35,6 @@ func EffectiveDecision(s *strategy.Strategy, op *graph.Op) strategy.Decision {
 		return s.DecisionFor(op.Forward.ID)
 	}
 	return s.DecisionFor(op.ID)
-}
-
-// layout is an op's replica arrangement: the fraction of the global batch
-// each device processes. MP layouts have a single 1.0 entry.
-type layout struct {
-	fracs []float64
-}
-
-func (l layout) devices() []int {
-	var ds []int
-	for d, f := range l.fracs {
-		if f > 0 {
-			ds = append(ds, d)
-		}
-	}
-	return ds
-}
-
-func (l layout) equal(o layout) bool {
-	if len(l.fracs) != len(o.fracs) {
-		return false
-	}
-	for i := range l.fracs {
-		if l.fracs[i] != o.fracs[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // PropReplicaCounts returns per-device replica counts proportional to compute
@@ -78,73 +57,6 @@ func PropReplicaCounts(c *cluster.Cluster) []int {
 	return counts
 }
 
-// layoutFor derives the replica layout of a decision on a cluster.
-func layoutFor(d strategy.Decision, c *cluster.Cluster) layout {
-	m := c.NumDevices()
-	fr := make([]float64, m)
-	switch d.Kind {
-	case strategy.MP:
-		fr[d.Device] = 1
-	case strategy.DPEvenPS, strategy.DPEvenAR:
-		for i := range fr {
-			fr[i] = 1 / float64(m)
-		}
-	case strategy.DPPropPS, strategy.DPPropAR:
-		counts := PropReplicaCounts(c)
-		total := 0
-		for _, k := range counts {
-			total += k
-		}
-		for i, k := range counts {
-			fr[i] = float64(k) / float64(total)
-		}
-	}
-	return layout{fracs: fr}
-}
-
-// compileState carries the in-progress distributed graph.
-type compileState struct {
-	dg     *DistGraph
-	cost   Coster
-	strat  *strategy.Strategy
-	nextID int
-	// instances[opID][device] is the DistOp instance of a logical op.
-	instances map[int]map[int]*DistOp
-	layouts   map[int]layout
-	// psLoad tracks projected NIC busy-seconds already committed to each
-	// device acting as a PS, so parameter-server roles spread across servers
-	// instead of piling onto one NIC.
-	psLoad []float64
-	// iter is the iteration currently being compiled.
-	iter int
-	// ablate disables individual mechanisms for ablation studies.
-	ablate Ablations
-	// paramReady[fwdOpID][device] is the op of the previous iteration that
-	// must finish before the forward op may reuse its parameters on device.
-	paramReady map[int]map[int]*DistOp
-}
-
-func (st *compileState) add(name string, kind graph.OpKind, units []int, t float64, outBytes int64, memDev int, src *graph.Op, inputs ...*DistOp) *DistOp {
-	op := &DistOp{
-		ID: st.nextID, Name: name, Kind: kind, Src: src,
-		Units: units, Time: t, OutBytes: outBytes, MemDevice: memDev,
-		Inputs: inputs,
-	}
-	st.nextID++
-	st.dg.Ops = append(st.dg.Ops, op)
-	return op
-}
-
-// addSend creates a transfer op occupying the comm units between src and dst.
-func (st *compileState) addSend(name string, srcDev, dstDev int, bytes int64, inputs ...*DistOp) (*DistOp, error) {
-	if _, err := st.dg.Cluster.LinkBetween(srcDev, dstDev); err != nil {
-		return nil, err
-	}
-	t := st.cost.TransferTime(srcDev, dstDev, bytes)
-	units := st.dg.CommUnitsBetween(srcDev, dstDev)
-	return st.add(name, graph.KindSend, units, t, bytes, dstDev, nil, inputs...), nil
-}
-
 // Ablations switches off individual design mechanisms for the ablation
 // studies (DESIGN.md's per-experiment index); the zero value is the full
 // system.
@@ -164,418 +76,6 @@ type Ablations struct {
 	NoHierarchicalPull bool
 }
 
-// Compile applies the strategy to the graph and returns the distributed
-// training graph for a single iteration.
-func Compile(g *graph.Graph, c *cluster.Cluster, s *strategy.Strategy, cost Coster) (*DistGraph, error) {
-	return CompileIter(g, c, s, cost, 1)
-}
-
-// CompileAblated is CompileIter with ablation switches.
-func CompileAblated(g *graph.Graph, c *cluster.Cluster, s *strategy.Strategy, cost Coster, iters int, ab Ablations) (*DistGraph, error) {
-	return compileIter(g, c, s, cost, iters, ab)
-}
-
-// CompileIter compiles `iters` back-to-back training iterations into one
-// distributed graph. A forward op that owns parameters in iteration k
-// depends on the arrival of its updated parameters from iteration k-1 (the
-// PS pull, or the post-AllReduce local apply), so simulating several
-// iterations reproduces the steady-state pipelining the paper measures when
-// averaging over 500 real iterations: late parameter pulls of one iteration
-// overlap the early forward pass of the next.
-func CompileIter(g *graph.Graph, c *cluster.Cluster, s *strategy.Strategy, cost Coster, iters int) (*DistGraph, error) {
-	return compileIter(g, c, s, cost, iters, Ablations{})
-}
-
-func compileIter(g *graph.Graph, c *cluster.Cluster, s *strategy.Strategy, cost Coster, iters int, ab Ablations) (*DistGraph, error) {
-	if err := s.Validate(c); err != nil {
-		return nil, fmt.Errorf("invalid strategy: %w", err)
-	}
-	if iters < 1 {
-		return nil, fmt.Errorf("iterations must be >= 1, got %d", iters)
-	}
-	st := &compileState{
-		dg:         &DistGraph{Source: g, Cluster: c, Iterations: iters, PersistentBytes: make([]int64, c.NumDevices())},
-		cost:       cost,
-		ablate:     ab,
-		strat:      s,
-		instances:  make(map[int]map[int]*DistOp, g.NumOps()),
-		layouts:    make(map[int]layout, g.NumOps()),
-		psLoad:     make([]float64, c.NumDevices()),
-		paramReady: make(map[int]map[int]*DistOp),
-	}
-	order, err := g.TopoSort()
-	if err != nil {
-		return nil, err
-	}
-	for it := 0; it < iters; it++ {
-		st.iter = it
-		st.instances = make(map[int]map[int]*DistOp, g.NumOps())
-		for i := range st.psLoad {
-			st.psLoad[i] = 0
-		}
-		for _, op := range order {
-			switch {
-			case op.Kind == graph.KindNoOp:
-				// Input pipeline: materializes on demand with no cost.
-				continue
-			case op.Kind == graph.KindApplyGradient:
-				if err := st.compileApply(op); err != nil {
-					return nil, err
-				}
-			default:
-				if err := st.compileCompute(op); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	// Parameters are resident once, not once per compiled iteration.
-	for d := range st.dg.PersistentBytes {
-		st.dg.PersistentBytes[d] /= int64(iters)
-	}
-	if err := st.dg.Validate(); err != nil {
-		return nil, fmt.Errorf("compiled graph invalid: %w", err)
-	}
-	return st.dg, nil
-}
-
-// compileCompute instantiates replicas of a computation op and wires its
-// input edges, inserting Split/Concat/Send glue across mismatched layouts.
-func (st *compileState) compileCompute(op *graph.Op) error {
-	d := EffectiveDecision(st.strat, op)
-	lay := layoutFor(d, st.dg.Cluster)
-	st.layouts[op.ID] = lay
-	inst := make(map[int]*DistOp)
-	st.instances[op.ID] = inst
-	for _, dev := range lay.devices() {
-		frac := lay.fracs[dev]
-		out := op.OutputBytes
-		if op.BatchDim {
-			out = int64(float64(out) * frac)
-		}
-		scale := op.MemScale
-		if scale == 0 {
-			scale = 1
-		}
-		mem := int64(float64(out) * activationFudge * scale / FusionDiscount(op.Kind))
-		t := st.cost.OpTime(op, dev, frac)
-		di := st.add(fmt.Sprintf("it%d/%s@%d", st.iter, op.Name, dev), op.Kind, []int{dev}, t, mem, dev, op)
-		di.Iter = st.iter
-		inst[dev] = di
-		if op.ParamBytes > 0 && !op.Kind.IsBackward() {
-			// Parameters are stored once per device; every replica tower on
-			// the device additionally materializes its own gradient tensor
-			// and optimizer slots (TF in-graph replication keeps one
-			// gradient buffer per tower until aggregation, and per-tower
-			// momentum accumulators).
-			towers := int64(1)
-			if d.Kind == strategy.DPPropPS || d.Kind == strategy.DPPropAR {
-				towers = int64(PropReplicaCounts(st.dg.Cluster)[dev])
-			}
-			st.dg.PersistentBytes[dev] += op.ParamBytes * (1 + (st.optimizerSlots()-1)*towers)
-			// Cross-iteration dependency: wait for the updated parameters
-			// produced by the previous iteration before running again.
-			if ready := st.paramReady[opID(op)]; ready != nil {
-				if pr, ok := ready[dev]; ok {
-					di.Inputs = append(di.Inputs, pr)
-				}
-			}
-		}
-	}
-	for _, in := range op.Inputs {
-		if in.Kind == graph.KindNoOp {
-			continue
-		}
-		if err := st.connect(in, op); err != nil {
-			return err
-		}
-	}
-	// Control dependencies transfer device-wise where possible, else to all.
-	for _, cd := range op.ControlDeps {
-		srcInst, ok := st.instances[cd.ID]
-		if !ok {
-			continue
-		}
-		for dev, di := range inst {
-			if si, ok := srcInst[dev]; ok {
-				di.Inputs = append(di.Inputs, si)
-			} else {
-				for _, si := range sortedInstances(srcInst) {
-					di.Inputs = append(di.Inputs, si)
-					break
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// sortedInstances returns instances in device order for determinism.
-func sortedInstances(m map[int]*DistOp) []*DistOp {
-	devs := make([]int, 0, len(m))
-	for d := range m {
-		devs = append(devs, d)
-	}
-	sort.Ints(devs)
-	out := make([]*DistOp, 0, len(m))
-	for _, d := range devs {
-		out = append(out, m[d])
-	}
-	return out
-}
-
-// connect wires producer p's instances into consumer c's instances.
-func (st *compileState) connect(p, c *graph.Op) error {
-	pl, ok := st.layouts[p.ID]
-	if !ok {
-		return fmt.Errorf("producer %q compiled after consumer %q", p.Name, c.Name)
-	}
-	cl := st.layouts[c.ID]
-	pInst := st.instances[p.ID]
-	cInst := st.instances[c.ID]
-
-	// Non-batch producers hold a full copy per instance: each consumer device
-	// either has a local copy or receives a broadcast of the full tensor.
-	if !p.BatchDim {
-		srcs := sortedInstances(pInst)
-		for _, dev := range cl.devices() {
-			if pi, ok := pInst[dev]; ok {
-				cInst[dev].Inputs = append(cInst[dev].Inputs, pi)
-				continue
-			}
-			send, err := st.addSend(fmt.Sprintf("%s->%d", p.Name, dev), srcs[0].MemDevice, dev, p.OutputBytes, srcs[0])
-			if err != nil {
-				return err
-			}
-			cInst[dev].Inputs = append(cInst[dev].Inputs, send)
-		}
-		return nil
-	}
-
-	// Aligned layouts: direct same-device edges, no communication.
-	if pl.equal(cl) {
-		for _, dev := range cl.devices() {
-			cInst[dev].Inputs = append(cInst[dev].Inputs, pInst[dev])
-		}
-		return nil
-	}
-
-	// MP -> MP across devices: a single whole-tensor transfer.
-	pDevs, cDevs := pl.devices(), cl.devices()
-	if len(pDevs) == 1 && len(cDevs) == 1 {
-		send, err := st.addSend(fmt.Sprintf("%s->%s", p.Name, c.Name), pDevs[0], cDevs[0], p.OutputBytes, pInst[pDevs[0]])
-		if err != nil {
-			return err
-		}
-		cInst[cDevs[0]].Inputs = append(cInst[cDevs[0]].Inputs, send)
-		return nil
-	}
-
-	// General mismatch: gather shards to a hub, Concat, Split, scatter.
-	// The hub is the device touching the most data on both sides.
-	hub, best := -1, -1.0
-	for dev := 0; dev < st.dg.Cluster.NumDevices(); dev++ {
-		score := pl.fracs[dev] + cl.fracs[dev]
-		if score > best {
-			best, hub = score, dev
-		}
-	}
-	var concatIns []*DistOp
-	for _, dev := range pDevs {
-		pi := pInst[dev]
-		if dev == hub {
-			concatIns = append(concatIns, pi)
-			continue
-		}
-		bytes := int64(float64(p.OutputBytes) * pl.fracs[dev])
-		send, err := st.addSend(fmt.Sprintf("%s@%d->hub%d", p.Name, dev, hub), dev, hub, bytes, pi)
-		if err != nil {
-			return err
-		}
-		concatIns = append(concatIns, send)
-	}
-	whole := concatIns[0]
-	if len(concatIns) > 1 {
-		tmp := &graph.Op{Name: p.Name + "_concat", Kind: graph.KindConcat, OutputBytes: p.OutputBytes, BatchDim: true}
-		t := st.cost.SyntheticOpTime(tmp, hub, 1)
-		whole = st.add(fmt.Sprintf("%s_concat@%d", p.Name, hub), graph.KindConcat, []int{hub}, t, p.OutputBytes, hub, nil, concatIns...)
-	}
-	shardSrc := whole
-	if len(cDevs) > 1 {
-		tmp := &graph.Op{Name: p.Name + "_split", Kind: graph.KindSplit, OutputBytes: p.OutputBytes, BatchDim: true}
-		t := st.cost.SyntheticOpTime(tmp, hub, 1)
-		shardSrc = st.add(fmt.Sprintf("%s_split@%d", p.Name, hub), graph.KindSplit, []int{hub}, t, p.OutputBytes, hub, nil, whole)
-	}
-	for _, dev := range cDevs {
-		if dev == hub {
-			cInst[dev].Inputs = append(cInst[dev].Inputs, shardSrc)
-			continue
-		}
-		bytes := int64(float64(p.OutputBytes) * cl.fracs[dev])
-		send, err := st.addSend(fmt.Sprintf("hub%d->%s@%d", hub, c.Name, dev), hub, dev, bytes, shardSrc)
-		if err != nil {
-			return err
-		}
-		cInst[dev].Inputs = append(cInst[dev].Inputs, send)
-	}
-	return nil
-}
-
-// compileApply lowers an ApplyGradient op. Its single input is the
-// weight-gradient op; depending on the forward op's decision it becomes a
-// local apply (MP), a PS push/aggregate/apply/pull pipeline, or an NCCL
-// AllReduce collective followed by per-replica applies.
-func (st *compileState) compileApply(op *graph.Op) error {
-	if len(op.Inputs) != 1 {
-		return fmt.Errorf("apply op %q must have exactly one grad input, has %d", op.Name, len(op.Inputs))
-	}
-	gw := op.Inputs[0]
-	gwInst := st.instances[gw.ID]
-	d := EffectiveDecision(st.strat, op)
-	gradBytes := gw.ParamBytes
-	if gradBytes == 0 {
-		gradBytes = gw.OutputBytes
-	}
-	lay := st.layouts[gw.ID]
-	devs := lay.devices()
-	st.layouts[op.ID] = lay
-	applyInst := make(map[int]*DistOp)
-	st.instances[op.ID] = applyInst
-
-	fwdID := -1
-	if op.Forward != nil {
-		fwdID = op.Forward.ID
-	}
-	setReady := func(dev int, d *DistOp) {
-		if fwdID < 0 {
-			return
-		}
-		if st.paramReady[fwdID] == nil {
-			st.paramReady[fwdID] = make(map[int]*DistOp)
-		}
-		st.paramReady[fwdID][dev] = d
-	}
-
-	// Single replica: plain local apply.
-	if len(devs) == 1 {
-		dev := devs[0]
-		t := st.cost.OpTime(op, dev, 1)
-		a := st.add(fmt.Sprintf("it%d/%s@%d", st.iter, op.Name, dev), op.Kind, []int{dev}, t, op.OutputBytes, dev, op, gwInst[dev])
-		a.Iter = st.iter
-		applyInst[dev] = a
-		setReady(dev, a)
-		st.layouts[op.ID] = layout{fracs: oneHot(st.dg.Cluster.NumDevices(), dev)}
-		return nil
-	}
-
-	if d.Kind.UsesAllReduce() {
-		// One NCCL collective. It occupies the NCCL unit (collectives for
-		// different ops never overlap) plus the NICs or PCIe buses of every
-		// participating server while it transfers — PS traffic for other ops
-		// can only fill the gaps while a collective waits for its inputs,
-		// exactly the hybrid-overlap opportunity the paper describes.
-		t := st.allReduceTime(devs, gradBytes)
-		units := st.allReduceUnits(devs)
-		ar := st.add(fmt.Sprintf("it%d/%s_allreduce", st.iter, gw.Name), graph.KindAllReduce, units, t, 0, -1, nil, sortedInstances(gwInst)...)
-		ar.Iter = st.iter
-		for _, dev := range devs {
-			at := st.cost.OpTime(op, dev, 1)
-			a := st.add(fmt.Sprintf("it%d/%s@%d", st.iter, op.Name, dev), op.Kind, []int{dev}, at, op.OutputBytes, dev, op, ar)
-			a.Iter = st.iter
-			applyInst[dev] = a
-			setReady(dev, a)
-		}
-		return nil
-	}
-
-	// PS aggregation: pick the PS among replica devices minimizing the
-	// worst-case push completion; ties go to the slowest GPU so the laggard's
-	// own gradient needs no transfer (Fig 2(a)'s trick).
-	// Parameter servers can ship embedding gradients in sparse IndexedSlices
-	// form: each replica pushes only the rows its shard touched, and pulls
-	// only the updated rows. AllReduce (above) always moves the dense tensor.
-	pushWhole := gradBytes
-	if !st.ablate.DensePS && gw.SparseGradBytes > 0 && gw.SparseGradBytes < gradBytes {
-		pushWhole = gw.SparseGradBytes
-	}
-	ps := st.choosePS(devs, pushWhole)
-	var aggIns []*DistOp
-	aggIns = append(aggIns, gwInst[ps])
-	for _, dev := range devs {
-		if dev == ps {
-			continue
-		}
-		pushBytes := pushWhole
-		if pushWhole != gradBytes {
-			pushBytes = int64(float64(pushWhole) * lay.fracs[dev])
-		}
-		send, err := st.addSend(fmt.Sprintf("it%d/%s_push@%d", st.iter, gw.Name, dev), dev, ps, pushBytes, gwInst[dev])
-		if err != nil {
-			return err
-		}
-		send.Iter = st.iter
-		aggIns = append(aggIns, send)
-	}
-	tmp := &graph.Op{Name: gw.Name + "_agg", Kind: graph.KindGradAgg, OutputBytes: gradBytes * int64(len(devs))}
-	aggT := st.cost.SyntheticOpTime(tmp, ps, 1)
-	agg := st.add(fmt.Sprintf("it%d/%s_agg@%d", st.iter, gw.Name, ps), graph.KindGradAgg, []int{ps}, aggT, gradBytes, ps, nil, aggIns...)
-	agg.Iter = st.iter
-	at := st.cost.OpTime(op, ps, 1)
-	apply := st.add(fmt.Sprintf("it%d/%s@%d", st.iter, op.Name, ps), op.Kind, []int{ps}, at, op.OutputBytes, ps, op, agg)
-	apply.Iter = st.iter
-	applyInst[ps] = apply
-	setReady(ps, apply)
-	// Updated parameters are pulled once per server; GPUs sharing the server
-	// receive them over the PCIe bus (hierarchical broadcast, halving the
-	// NIC pull traffic exactly as TF's replicated-variable broadcast does).
-	c := st.dg.Cluster
-	pullHead := make(map[int]*DistOp)
-	for _, dev := range devs {
-		if dev == ps {
-			continue
-		}
-		srv := c.Devices[dev].Server
-		if srv == c.Devices[ps].Server {
-			pull, err := st.addSend(fmt.Sprintf("it%d/%s_pull@%d", st.iter, gw.Name, dev), ps, dev, pushWhole, apply)
-			if err != nil {
-				return err
-			}
-			pull.Iter = st.iter
-			setReady(dev, pull)
-			continue
-		}
-		if head, ok := pullHead[srv]; ok && !st.ablate.NoHierarchicalPull {
-			relay, err := st.addSend(fmt.Sprintf("it%d/%s_relay@%d", st.iter, gw.Name, dev), head.MemDevice, dev, pushWhole, head)
-			if err != nil {
-				return err
-			}
-			relay.Iter = st.iter
-			setReady(dev, relay)
-			continue
-		}
-		pull, err := st.addSend(fmt.Sprintf("it%d/%s_pull@%d", st.iter, gw.Name, dev), ps, dev, pushWhole, apply)
-		if err != nil {
-			return err
-		}
-		pull.Iter = st.iter
-		pullHead[srv] = pull
-		setReady(dev, pull)
-	}
-	st.layouts[op.ID] = layout{fracs: oneHot(st.dg.Cluster.NumDevices(), ps)}
-	st.instances[op.ID] = map[int]*DistOp{ps: apply}
-	return nil
-}
-
-func opID(op *graph.Op) int { return op.ID }
-
-// optimizerSlots resolves the graph's resident parameter-tensor multiple.
-func (st *compileState) optimizerSlots() int64 {
-	if s := st.dg.Source.OptimizerSlots; s > 0 {
-		return int64(s)
-	}
-	return 3
-}
-
 // FusionDiscount returns how much of an op kind's nominal output survives as
 // a distinct resident buffer (1 = all of it). Batch norm is folded entirely
 // into the convolution epilogue by cuDNN; ReLU/residual adds are mostly
@@ -593,170 +93,4 @@ func FusionDiscount(k graph.OpKind) float64 {
 	default:
 		return 1
 	}
-}
-
-func oneHot(n, i int) []float64 {
-	v := make([]float64, n)
-	v[i] = 1
-	return v
-}
-
-// choosePS selects the parameter-server device for a gradient: the replica
-// device minimizing aggregation completion time, accounting for gradient
-// traffic already routed to each candidate's NIC (so PS roles for different
-// operations spread over servers) and preferring slower GPUs on ties so the
-// laggard's own gradient needs no transfer (Fig 2(a)).
-func (st *compileState) choosePS(devs []int, gradBytes int64) int {
-	c := st.dg.Cluster
-	best := devs[0]
-	bestCost := -1.0
-	bestBusy := 0.0
-	for _, cand := range devs {
-		worst := 0.0
-		busy := 0.0
-		for _, w := range devs {
-			if w == cand {
-				continue
-			}
-			t := st.cost.TransferTime(w, cand, gradBytes)
-			if t > worst {
-				worst = t
-			}
-			// Push in plus pull out; ingress and egress are separate units,
-			// so each side carries about half of the projected occupancy.
-			busy += (t + st.cost.TransferTime(cand, w, gradBytes)) / 2
-		}
-		cost := worst + st.psLoad[cand]
-		power := c.Devices[cand].Model.Power
-		if bestCost < 0 || cost < bestCost-1e-12 ||
-			(cost < bestCost+1e-12 && power < c.Devices[best].Model.Power) {
-			best, bestCost, bestBusy = cand, cost, busy
-		}
-	}
-	st.psLoad[best] += bestBusy
-	return best
-}
-
-// allReduceUnits returns the resources a collective occupies: the NCCL unit
-// plus every participating server's NICs (cross-server) or PCIe bus
-// (single-server).
-func (st *compileState) allReduceUnits(devs []int) []int {
-	c := st.dg.Cluster
-	servers := map[int]bool{}
-	for _, d := range devs {
-		servers[d] = false
-		servers[c.Devices[d].Server] = true
-	}
-	srvs := make([]int, 0, len(servers))
-	for s, isSrv := range servers {
-		if isSrv {
-			srvs = append(srvs, s)
-		}
-	}
-	sort.Ints(srvs)
-	var units []int
-	if !st.ablate.NoNCCLSerialization {
-		units = append(units, st.dg.ncclUnit())
-	}
-	if len(srvs) == 1 {
-		return append(units, st.dg.pcieUnit(srvs[0]))
-	}
-	for _, s := range srvs {
-		// A cross-server collective saturates every lane of each NIC.
-		for lane := 0; lane < st.dg.serverLanes(s); lane++ {
-			units = append(units, st.dg.nicInUnit(s, lane), st.dg.nicOutUnit(s, lane))
-		}
-	}
-	return units
-}
-
-// ncclCollectiveOverhead is the fixed launch/synchronization cost of one
-// NCCL collective across servers (kernel launches on every rank, connection
-// handshakes, rendezvous). It is why AllReduce degrades on models with many
-// small gradient tensors (Bert/XLNet rows of Table 1): the per-collective
-// cost is paid once per aggregated operation and collectives cannot overlap.
-const ncclCollectiveOverhead = 1.2e-3
-
-// allReduceTime estimates the better of ring and hierarchical AllReduce for
-// gradBytes over the given devices (the paper always picks the faster of the
-// two given the topology).
-func (st *compileState) allReduceTime(devs []int, gradBytes int64) float64 {
-	ring := st.ringTime(devs, gradBytes)
-	hier := st.hierTime(devs, gradBytes)
-	if hier < ring {
-		ring = hier
-	}
-	if st.ablate.FreeCollectiveLaunch {
-		return ring
-	}
-	return ncclCollectiveOverhead + ring
-}
-
-// ringTime is the classic ring AllReduce estimate: 2(n-1) chunk steps of
-// S/n bytes each, bottlenecked by the slowest consecutive link.
-func (st *compileState) ringTime(devs []int, bytes int64) float64 {
-	n := len(devs)
-	if n < 2 {
-		return 0
-	}
-	c := st.dg.Cluster
-	minBW := -1.0
-	maxLat := 0.0
-	for i := range devs {
-		l, err := c.LinkBetween(devs[i], devs[(i+1)%n])
-		if err != nil {
-			continue
-		}
-		if minBW < 0 || l.Bandwidth < minBW {
-			minBW = l.Bandwidth
-		}
-		if l.Latency > maxLat {
-			maxLat = l.Latency
-		}
-	}
-	if minBW <= 0 {
-		return 0
-	}
-	steps := float64(2 * (n - 1))
-	return steps*(float64(bytes)/float64(n))/(minBW*arBandwidthEff) + steps*maxLat
-}
-
-// arBandwidthEff is the fraction of nominal link bandwidth NCCL collectives
-// achieve across servers (socket transport, chunking, protocol overhead).
-const arBandwidthEff = 0.65
-
-// hierTime is a hierarchical AllReduce: ring-reduce within each server,
-// ring over one leader per server, then broadcast within servers.
-func (st *compileState) hierTime(devs []int, bytes int64) float64 {
-	c := st.dg.Cluster
-	byServer := map[int][]int{}
-	for _, d := range devs {
-		s := c.Devices[d].Server
-		byServer[s] = append(byServer[s], d)
-	}
-	if len(byServer) < 2 {
-		// Single server: hierarchical degenerates to the intra ring.
-		return st.ringTime(devs, bytes)
-	}
-	var intra float64
-	leaders := make([]int, 0, len(byServer))
-	servers := make([]int, 0, len(byServer))
-	for s := range byServer {
-		servers = append(servers, s)
-	}
-	sort.Ints(servers)
-	for _, s := range servers {
-		group := byServer[s]
-		sort.Ints(group)
-		leaders = append(leaders, group[0])
-		if len(group) > 1 {
-			t := st.ringTime(group, bytes)
-			if t > intra {
-				intra = t
-			}
-		}
-	}
-	inter := st.ringTime(leaders, bytes)
-	// Final intra-server broadcast of the result: one more pass.
-	return intra + inter + intra/2
 }

@@ -109,7 +109,7 @@ func (dg *DistGraph) commBase(server int) int {
 	return u
 }
 
-func (dg *DistGraph) serverLanes(server int) int {
+func (dg *DistGraph) ServerLanes(server int) int {
 	l := dg.Cluster.Servers[server].NICLanes
 	if l < 1 {
 		l = 1
@@ -117,21 +117,21 @@ func (dg *DistGraph) serverLanes(server int) int {
 	return l
 }
 
-// nicInUnit and nicOutUnit return one lane of a server's NIC; successive
+// NICInUnit and NICOutUnit return one lane of a server's NIC; successive
 // transfers round-robin over lanes so a 100GbE card absorbs two concurrent
 // 50GbE-limited flows.
-func (dg *DistGraph) nicInUnit(server, lane int) int {
-	return dg.commBase(server) + lane%dg.serverLanes(server)
+func (dg *DistGraph) NICInUnit(server, lane int) int {
+	return dg.commBase(server) + lane%dg.ServerLanes(server)
 }
-func (dg *DistGraph) nicOutUnit(server, lane int) int {
-	return dg.commBase(server) + dg.serverLanes(server) + lane%dg.serverLanes(server)
+func (dg *DistGraph) NICOutUnit(server, lane int) int {
+	return dg.commBase(server) + dg.ServerLanes(server) + lane%dg.ServerLanes(server)
 }
-func (dg *DistGraph) pcieUnit(server int) int {
-	return dg.commBase(server) + 2*dg.serverLanes(server)
+func (dg *DistGraph) PCIeUnit(server int) int {
+	return dg.commBase(server) + 2*dg.ServerLanes(server)
 }
 
-// ncclUnit returns the NCCL serialization unit index.
-func (dg *DistGraph) ncclUnit() int {
+// NCCLUnit returns the NCCL serialization unit index.
+func (dg *DistGraph) NCCLUnit() int {
 	return dg.NumUnits() - 1
 }
 
@@ -143,7 +143,7 @@ func (dg *DistGraph) CommUnitsBetween(srcDev, dstDev int) []int {
 	ss := dg.Cluster.Devices[srcDev].Server
 	ds := dg.Cluster.Devices[dstDev].Server
 	if ss == ds {
-		return []int{dg.pcieUnit(ss)}
+		return []int{dg.PCIeUnit(ss)}
 	}
 	if dg.laneRR == nil {
 		dg.laneRR = make(map[[2]int]int)
@@ -152,7 +152,7 @@ func (dg *DistGraph) CommUnitsBetween(srcDev, dstDev int) []int {
 	dg.laneRR[[2]int{ss, 0}]++
 	inLane := dg.laneRR[[2]int{ds, 1}]
 	dg.laneRR[[2]int{ds, 1}]++
-	return []int{dg.nicOutUnit(ss, outLane), dg.nicInUnit(ds, inLane)}
+	return []int{dg.NICOutUnit(ss, outLane), dg.NICInUnit(ds, inLane)}
 }
 
 // Validate checks the distributed graph for structural soundness. Dist op

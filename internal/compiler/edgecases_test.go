@@ -5,117 +5,7 @@ import (
 
 	"heterog/internal/cluster"
 	"heterog/internal/graph"
-	"heterog/internal/profile"
-	"heterog/internal/strategy"
 )
-
-// broadcastGraph has a non-batch-dim producer (a weight-like table) feeding a
-// batched consumer — exercising the broadcast path in connect().
-func broadcastGraph(t *testing.T) *graph.Graph {
-	t.Helper()
-	g := graph.New("broadcast", 32)
-	table := g.AddOp("table", graph.KindEmbeddingLookup)
-	table.OutputBytes = 8 << 20
-	table.BatchDim = false
-	table.FLOPs = 1e6
-	user := g.AddOp("user", graph.KindMatMul, table)
-	user.OutputBytes = 4 << 20
-	user.BatchDim = true
-	user.FLOPs = 1e9
-	if err := g.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	return g
-}
-
-func TestBroadcastNonBatchProducer(t *testing.T) {
-	g := broadcastGraph(t)
-	c := cluster.Testbed4()
-	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	gr, err := strategy.Group(g, cm, g.NumOps())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{
-		{Kind: strategy.MP, Device: 0}, // producer on device 0
-		{Kind: strategy.DPEvenAR},      // consumer replicated everywhere
-	}}
-	// Align decisions to the right groups (grouping may reorder).
-	for gi, anchor := range gr.Anchors {
-		if g.Ops[anchor].Name == "table" {
-			s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: 0}
-		} else {
-			s.Decisions[gi] = strategy.Decision{Kind: strategy.DPEvenAR}
-		}
-	}
-	dg, err := Compile(g, c, s, cm)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := dg.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	// One broadcast send per consumer device lacking a local copy (3 of 4).
-	sends := 0
-	for _, op := range dg.Ops {
-		if op.Kind == graph.KindSend {
-			sends++
-			if op.OutBytes != 8<<20 {
-				t.Fatalf("broadcast must ship the full tensor, got %d bytes", op.OutBytes)
-			}
-		}
-	}
-	if sends != 3 {
-		t.Fatalf("%d broadcast sends, want 3", sends)
-	}
-}
-
-func TestControlDependenciesSurviveCompilation(t *testing.T) {
-	g := graph.New("ctrl", 16)
-	a := g.AddOp("a", graph.KindMatMul)
-	a.OutputBytes = 1 << 20
-	a.BatchDim = true
-	a.FLOPs = 1e8
-	b := g.AddOp("b", graph.KindMatMul)
-	b.OutputBytes = 1 << 20
-	b.BatchDim = true
-	b.FLOPs = 1e8
-	b.ControlDeps = append(b.ControlDeps, a)
-	if err := g.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	c := cluster.Testbed4()
-	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	gr, err := strategy.Group(g, cm, g.NumOps())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
-	dg, err := Compile(g, c, s, cm)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Each replica of b must depend on a replica of a.
-	gated := 0
-	for _, op := range dg.Ops {
-		if op.Src == b {
-			for _, in := range op.Inputs {
-				if in.Src == a {
-					gated++
-				}
-			}
-		}
-	}
-	if gated != 4 {
-		t.Fatalf("%d control-gated replicas, want 4", gated)
-	}
-}
 
 func TestUnitLayout(t *testing.T) {
 	c := cluster.Testbed8()

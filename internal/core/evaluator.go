@@ -15,8 +15,8 @@ import (
 	"heterog/internal/compiler"
 	"heterog/internal/evalcache"
 	"heterog/internal/graph"
+	"heterog/internal/plan"
 	"heterog/internal/profile"
-	"heterog/internal/sched"
 	"heterog/internal/sim"
 	"heterog/internal/strategy"
 )
@@ -105,10 +105,20 @@ type Evaluator struct {
 	// EnableRobustness, distinguished by ScenarioTag. It must not be shared
 	// across otherwise different (graph, cluster, cost model) triples.
 	Cache *evalcache.Cache[*Evaluation]
+	// Lowered memoizes order-independent lowered plan artifacts (the
+	// pipeline's Layout → Verify products) keyed without the execution-order
+	// flag, so evaluating one strategy under both ranked and FIFO orders —
+	// the planner does this for every serious candidate — compiles once and
+	// re-runs only the Ordering pass. Twins share it the same way they share
+	// Cache; nil disables artifact reuse.
+	Lowered *evalcache.Cache[*plan.Artifacts]
 	// ScenarioTag distinguishes cache keys of fault-scenario twins sharing
 	// the nominal evaluator's cache: 0 is the nominal cluster, 1+k the k-th
 	// scenario perturbation.
 	ScenarioTag uint64
+	// pipe aggregates per-pass pipeline metrics and compile-reuse counters;
+	// shared (by pointer) with every twin. See PipelineReport.
+	pipe *pipeStats
 	// Seed is the profiling seed the evaluator was built with; replanning on
 	// a degraded cluster reuses it so the re-profile stays comparable.
 	Seed int64
@@ -125,7 +135,12 @@ func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, e
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", g.Name, err)
 	}
-	return &Evaluator{Graph: g, Cluster: c, Cost: cm, Seed: seed, Cache: evalcache.New[*Evaluation](0)}, nil
+	return &Evaluator{
+		Graph: g, Cluster: c, Cost: cm, Seed: seed,
+		Cache:   evalcache.New[*Evaluation](0),
+		Lowered: evalcache.New[*plan.Artifacts](0),
+		pipe:    newPipeStats(),
+	}, nil
 }
 
 // Evaluate compiles, orders and simulates one strategy, short-circuiting
@@ -157,16 +172,19 @@ func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 			return &e, nil
 		}
 	}
-	dg, err := compiler.CompileAblated(ev.Graph, ev.Cluster, s, ev.Cost, iters, ev.Ablate)
+	art, err := ev.lowered(s, iters)
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: %w", ev.Graph.Name, err)
 	}
-	var pr []float64
-	if ev.UseFIFO {
-		pr = sched.FIFO(dg)
-	} else {
-		pr = sched.Ranks(dg)
+	// Ordering is the only pass that depends on the execution-order choice:
+	// it re-runs on a lightweight per-order view of the (possibly cached,
+	// read-only) lowered artifact.
+	oa := art.ForOrder(ev.UseFIFO)
+	if err := plan.Order(oa); err != nil {
+		return nil, fmt.Errorf("order %s: %w", ev.Graph.Name, err)
 	}
+	ev.pipe.absorb(oa.Metrics)
+	dg, pr := oa.Dist, oa.Priorities
 	res, err := sim.Run(dg, pr)
 	if err != nil {
 		return nil, fmt.Errorf("simulate %s: %w", ev.Graph.Name, err)
@@ -183,6 +201,31 @@ func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 		ev.Cache.Put(key, e)
 	}
 	return e, nil
+}
+
+// lowered returns the order-independent lowered artifacts for (s, iters),
+// reusing a cached artifact when the same lowering request was already run
+// (same decisions, iterations, ablations and fault scenario — the execution
+// order is deliberately not part of the key).
+func (ev *Evaluator) lowered(s *strategy.Strategy, iters int) (*plan.Artifacts, error) {
+	var key evalcache.Key
+	if ev.Lowered != nil {
+		key = evalcache.LoweredFingerprint(s, iters, ev.Ablate, ev.ScenarioTag)
+		if hit, ok := ev.Lowered.Get(key); ok {
+			ev.pipe.reuse()
+			return hit, nil
+		}
+	}
+	a := plan.NewArtifacts(ev.Graph, ev.Cluster, s, ev.Cost, iters, ev.Ablate)
+	if err := plan.Lower(a); err != nil {
+		return nil, err
+	}
+	ev.pipe.absorb(a.Metrics)
+	ev.pipe.lowered()
+	if ev.Lowered != nil {
+		ev.Lowered.Put(key, a)
+	}
+	return a, nil
 }
 
 // StrategyStats tallies the fraction of the source graph's operations under

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/faults"
+	"heterog/internal/models"
+	"heterog/internal/strategy"
+)
+
+// -update regenerates the golden file from the current compiler. The checked-in
+// goldens were captured on the pre-pipeline monolithic compiler, so the pass
+// pipeline is proven behavior-preserving bit for bit against them.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_eval.json from current behavior")
+
+// goldenRecord pins every externally observable field of an Evaluation as
+// exact float64 bit patterns, so any rounding-level drift in the compile →
+// order → simulate path fails the test.
+type goldenRecord struct {
+	Case        string   `json:"case"`
+	PerIter     uint64   `json:"per_iter_bits"`
+	Reward      uint64   `json:"reward_bits"`
+	Score       uint64   `json:"score_bits"`
+	ComputeTime uint64   `json:"compute_time_bits"`
+	CommTime    uint64   `json:"comm_time_bits"`
+	OOM         bool     `json:"oom"`
+	Ops         int      `json:"dist_ops"`
+	MPShare     []uint64 `json:"mp_share_bits"`
+	DPShare     []uint64 `json:"dp_share_bits"` // EV-PS, EV-AR, CP-PS, CP-AR
+	// Robust fields are zero/empty for nominal cases.
+	RobustTimes []uint64 `json:"robust_times_bits,omitempty"`
+	RobustOOMs  []bool   `json:"robust_ooms,omitempty"`
+	RobustP95   uint64   `json:"robust_p95_bits,omitempty"`
+	RobustWorst uint64   `json:"robust_worst_bits,omitempty"`
+}
+
+const goldenPath = "testdata/golden_eval.json"
+
+// goldenStrategy builds a deterministic mixed strategy: mostly the given DP
+// kind with every fifth group placed model-parallel round-robin, exercising
+// Split/Concat glue, sends, and both aggregation backends in one graph.
+func goldenStrategy(t *testing.T, ev *Evaluator, kind strategy.DecisionKind, mixMP bool) *strategy.Strategy {
+	t.Helper()
+	gr, err := strategy.Group(ev.Graph, ev.Cost, ev.Graph.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strategy.Uniform(gr, strategy.Decision{Kind: kind})
+	if mixMP {
+		m := ev.Cluster.NumDevices()
+		for gi := 0; gi < len(s.Decisions); gi += 5 {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: gi % m}
+		}
+	}
+	return s
+}
+
+func record(t *testing.T, name string, e *Evaluation) goldenRecord {
+	t.Helper()
+	st := e.StrategyStats()
+	rec := goldenRecord{
+		Case:        name,
+		PerIter:     math.Float64bits(e.PerIter),
+		Reward:      math.Float64bits(Reward(e)),
+		Score:       math.Float64bits(e.Score()),
+		ComputeTime: math.Float64bits(e.ComputeTime),
+		CommTime:    math.Float64bits(e.CommTime),
+		OOM:         e.Result.OOM(),
+		Ops:         len(e.Dist.Ops),
+	}
+	for _, v := range st.MPShare {
+		rec.MPShare = append(rec.MPShare, math.Float64bits(v))
+	}
+	for _, k := range []strategy.DecisionKind{strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR} {
+		rec.DPShare = append(rec.DPShare, math.Float64bits(st.DPShare[k]))
+	}
+	if e.Robust != nil {
+		for _, v := range e.Robust.Times {
+			rec.RobustTimes = append(rec.RobustTimes, math.Float64bits(v))
+		}
+		rec.RobustOOMs = append([]bool(nil), e.Robust.OOMs...)
+		rec.RobustP95 = math.Float64bits(e.Robust.P95)
+		rec.RobustWorst = math.Float64bits(e.Robust.Worst)
+	}
+	return rec
+}
+
+// TestGoldenEvaluationBitIdentical locks Evaluation outputs (time, reward,
+// OOM, StrategyStats, robust profile) to the goldens captured before the
+// compiler was restructured into the pass pipeline, across three zoo models,
+// both execution orders, and both nominal and robustness modes.
+func TestGoldenEvaluationBitIdentical(t *testing.T) {
+	type evcase struct {
+		name  string
+		model string
+		batch int
+		gpus  int
+		kind  strategy.DecisionKind
+		mixMP bool
+		fifo  bool
+	}
+	cases := []evcase{
+		{name: "vgg19/evenAR/ranked", model: "vgg19", batch: 64, gpus: 4, kind: strategy.DPEvenAR},
+		{name: "vgg19/evenPS/fifo", model: "vgg19", batch: 64, gpus: 4, kind: strategy.DPEvenPS, fifo: true},
+		{name: "vgg19/mixedPropPS/ranked", model: "vgg19", batch: 64, gpus: 8, kind: strategy.DPPropPS, mixMP: true},
+		{name: "mobilenet_v2/propAR/ranked", model: "mobilenet_v2", batch: 48, gpus: 4, kind: strategy.DPPropAR},
+		{name: "mobilenet_v2/mixedEvenPS/fifo", model: "mobilenet_v2", batch: 48, gpus: 4, kind: strategy.DPEvenPS, mixMP: true, fifo: true},
+		{name: "transformer6/evenAR/ranked", model: "transformer6", batch: 180, gpus: 8, kind: strategy.DPEvenAR},
+		{name: "transformer6/mixedPropAR/ranked", model: "transformer6", batch: 180, gpus: 8, kind: strategy.DPPropAR, mixMP: true},
+	}
+	got := make(map[string]goldenRecord)
+	for _, tc := range cases {
+		g, err := models.Build(tc.model, tc.batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c *cluster.Cluster
+		if tc.gpus == 4 {
+			c = cluster.Testbed4()
+		} else {
+			c = cluster.Testbed8()
+		}
+		ev, err := NewEvaluator(g, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.UseFIFO = tc.fifo
+		s := goldenStrategy(t, ev, tc.kind, tc.mixMP)
+
+		nom, err := ev.Evaluate(s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got[tc.name] = record(t, tc.name, nom)
+
+		// Robust twin of the same case: fresh evaluator (robustness must be
+		// enabled before sharing), 3 scenarios from a fixed fault seed.
+		rev, err := NewEvaluator(g, c, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev.UseFIFO = tc.fifo
+		if err := rev.EnableRobustness(faults.Generate(c, faults.DefaultModel(3, 7)), 0.5); err != nil {
+			t.Fatal(err)
+		}
+		rob, err := rev.Evaluate(s)
+		if err != nil {
+			t.Fatalf("%s robust: %v", tc.name, err)
+		}
+		got[tc.name+"/robust"] = record(t, tc.name+"/robust", rob)
+	}
+
+	if *updateGolden {
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		recs := make([]goldenRecord, 0, len(names))
+		for _, n := range names {
+			recs = append(recs, got[n])
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden records to %s", len(recs), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d records, test produced %d", len(want), len(got))
+	}
+	for _, w := range want {
+		g, ok := got[w.Case]
+		if !ok {
+			t.Errorf("golden case %q no longer produced", w.Case)
+			continue
+		}
+		if fmt.Sprintf("%+v", w) != fmt.Sprintf("%+v", g) {
+			t.Errorf("case %q diverged from pre-refactor golden:\n  want %+v\n  got  %+v", w.Case, w, g)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"heterog/internal/plan"
+)
+
+// PassStat aggregates every execution of one pipeline pass across an
+// evaluator (and all twins sharing its recorder).
+type PassStat struct {
+	Name  string        `json:"name"`
+	Runs  int64         `json:"runs"`
+	Total time.Duration `json:"total_ns"`
+	Ops   int64         `json:"ops"`
+	Bytes int64         `json:"bytes"`
+}
+
+// PipelineReport is a point-in-time snapshot of the planning-pipeline
+// instrumentation: per-pass totals in pipeline order, how many full lowering
+// runs happened, and how many were avoided by reusing a cached lowered
+// artifact (the FIFO-vs-ranked and scenario-twin fast path).
+type PipelineReport struct {
+	Passes []PassStat `json:"passes"`
+	// Lowerings counts full lowering-pipeline executions (compiles).
+	Lowerings int64 `json:"lowerings"`
+	// Reused counts evaluations that skipped lowering by reusing a cached
+	// artifact — recompiles avoided; only the Ordering pass re-ran.
+	Reused int64 `json:"reused"`
+}
+
+// pipeStats is the shared, concurrency-safe recorder behind an evaluator's
+// PipelineReport. Value copies of an Evaluator (FIFO twins) and the
+// scenario twins built by EnableRobustness share the pointer, so the report
+// covers the whole planning effort of one evaluator family.
+type pipeStats struct {
+	mu        sync.Mutex
+	passes    map[string]*PassStat
+	lowerings int64
+	reused    int64
+}
+
+func newPipeStats() *pipeStats { return &pipeStats{passes: make(map[string]*PassStat)} }
+
+// absorb folds one pipeline run's metrics into the totals.
+func (p *pipeStats) absorb(ms []plan.PassMetrics) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range ms {
+		st := p.passes[m.Pass]
+		if st == nil {
+			st = &PassStat{Name: m.Pass}
+			p.passes[m.Pass] = st
+		}
+		st.Runs++
+		st.Total += m.Duration
+		st.Ops += int64(m.Ops)
+		st.Bytes += m.Bytes
+	}
+}
+
+func (p *pipeStats) lowered() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.lowerings++
+	p.mu.Unlock()
+}
+
+func (p *pipeStats) reuse() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reused++
+	p.mu.Unlock()
+}
+
+// snapshot renders the totals in canonical pipeline order.
+func (p *pipeStats) snapshot() PipelineReport {
+	if p == nil {
+		return PipelineReport{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := PipelineReport{Lowerings: p.lowerings, Reused: p.reused}
+	seen := make(map[string]bool)
+	for _, name := range plan.PassOrder() {
+		if st, ok := p.passes[name]; ok {
+			rep.Passes = append(rep.Passes, *st)
+			seen[name] = true
+		}
+	}
+	var extras []string
+	for name := range p.passes {
+		if !seen[name] {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		rep.Passes = append(rep.Passes, *p.passes[name])
+	}
+	return rep
+}
+
+// PipelineReport snapshots the per-pass instrumentation accumulated by this
+// evaluator and every twin sharing its recorder (FIFO and fault-scenario
+// twins). Evaluators constructed without NewEvaluator return a zero report.
+func (ev *Evaluator) PipelineReport() PipelineReport {
+	return ev.pipe.snapshot()
+}

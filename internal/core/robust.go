@@ -86,8 +86,10 @@ func (ev *Evaluator) EnableRobustness(scs []*faults.Scenario, blend float64) err
 			Iterations:  ev.Iterations,
 			Ablate:      ev.Ablate,
 			Cache:       ev.Cache,
+			Lowered:     ev.Lowered,
 			ScenarioTag: uint64(k + 1),
 			Seed:        ev.Seed,
+			pipe:        ev.pipe,
 		}
 	}
 	ev.Robust = r

@@ -27,18 +27,43 @@ type Key [sha256.Size]byte
 // differently) but assign every op the same decision compile to the same
 // distributed graph, so they intentionally share a key. Placement devices are
 // ignored for DP decisions, which the compiler never reads them for.
+//
+// Every key is additionally tagged with compiler.IRVersion (the lowering
+// scheme that would produce the cached result), so evaluations cached under
+// a previous lowering scheme can never be served stale after a compiler or
+// pipeline change — the version bump rotates every key.
 func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler.Ablations, scenario uint64) Key {
+	buf := fingerprintBody(s, iterations, ab, scenario, 'E')
+	if useFIFO {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return sha256.Sum256(buf)
+}
+
+// LoweredFingerprint keys a lowered (compiled but unordered) plan artifact:
+// identical to Fingerprint except that the execution order is excluded —
+// ordering is the only pipeline pass downstream of the lowered graph, so one
+// lowered artifact serves both ranked and FIFO evaluation. The 'L' domain
+// tag keeps lowered keys disjoint from full-evaluation keys even inside a
+// (mistakenly) shared cache.
+func LoweredFingerprint(s *strategy.Strategy, iterations int, ab compiler.Ablations, scenario uint64) Key {
+	return sha256.Sum256(fingerprintBody(s, iterations, ab, scenario, 'L'))
+}
+
+func fingerprintBody(s *strategy.Strategy, iterations int, ab compiler.Ablations, scenario uint64, domain byte) []byte {
 	n := len(s.Grouping.GroupOf)
-	buf := make([]byte, 0, 24+3*n)
+	buf := make([]byte, 0, 32+len(compiler.IRVersion)+3*n)
+	buf = append(buf, domain)
+	buf = append(buf, compiler.IRVersion...)
+	buf = append(buf, 0)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(iterations))
 	buf = append(buf, hdr[:]...)
 	binary.LittleEndian.PutUint64(hdr[:], scenario)
 	buf = append(buf, hdr[:]...)
 	var flags byte
-	if useFIFO {
-		flags |= 1 << 0
-	}
 	if ab.NoNCCLSerialization {
 		flags |= 1 << 1
 	}
@@ -60,5 +85,5 @@ func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler
 		}
 		buf = append(buf, byte(d.Kind), byte(dev), byte(dev>>8))
 	}
-	return sha256.Sum256(buf)
+	return buf
 }

@@ -1,10 +1,15 @@
-package compiler
+package plan
+
+// Behavioral tests of the lowering pipeline's end products, migrated from the
+// monolithic compiler's test suite: the pass decomposition must keep every
+// structural property of the compiled distributed graph.
 
 import (
 	"strings"
 	"testing"
 
 	"heterog/internal/cluster"
+	"heterog/internal/compiler"
 	"heterog/internal/graph"
 	"heterog/internal/models"
 	"heterog/internal/profile"
@@ -29,7 +34,7 @@ func setup(t *testing.T, modelKey string, batch int) (*graph.Graph, *cluster.Clu
 	return g, c, cm, gr
 }
 
-func compileUniform(t *testing.T, kind strategy.DecisionKind) (*graph.Graph, *DistGraph) {
+func compileUniform(t *testing.T, kind strategy.DecisionKind) (*graph.Graph, *compiler.DistGraph) {
 	t.Helper()
 	g, c, cm, gr := setup(t, "vgg19", 64)
 	s := strategy.Uniform(gr, strategy.Decision{Kind: kind})
@@ -147,7 +152,7 @@ func TestPSAggregationStructure(t *testing.T) {
 func TestARAggregationStructure(t *testing.T) {
 	_, dg := compileUniform(t, strategy.DPEvenAR)
 	collectives := 0
-	ncclUnit := dg.ncclUnit()
+	ncclUnit := dg.NCCLUnit()
 	for _, op := range dg.Ops {
 		if op.Kind == graph.KindAllReduce {
 			collectives++
@@ -197,19 +202,19 @@ func TestGradientAggregationConservation(t *testing.T) {
 
 func TestProportionalLayout(t *testing.T) {
 	c := cluster.Testbed8()
-	counts := PropReplicaCounts(c)
+	counts := compiler.PropReplicaCounts(c)
 	want := []int{2, 2, 1, 1, 1, 1, 1, 1}
 	for i, k := range counts {
 		if k != want[i] {
 			t.Fatalf("prop counts %v, want %v", counts, want)
 		}
 	}
-	lay := layoutFor(strategy.Decision{Kind: strategy.DPPropAR}, c)
-	if lay.fracs[0] != 0.2 || lay.fracs[2] != 0.1 {
-		t.Fatalf("prop fractions %v", lay.fracs)
+	lay := LayoutFor(strategy.Decision{Kind: strategy.DPPropAR}, c)
+	if lay.Fracs[0] != 0.2 || lay.Fracs[2] != 0.1 {
+		t.Fatalf("prop fractions %v", lay.Fracs)
 	}
 	var sum float64
-	for _, f := range lay.fracs {
+	for _, f := range lay.Fracs {
 		sum += f
 	}
 	if sum < 0.999 || sum > 1.001 {
@@ -412,10 +417,118 @@ func TestEffectiveDecisionFollowsForward(t *testing.T) {
 	s.Decisions[gr.GroupOf[fc6.ID]] = strategy.Decision{Kind: strategy.MP, Device: 1}
 	for _, op := range g.Ops {
 		if op.Forward == fc6 {
-			d := EffectiveDecision(s, op)
+			d := compiler.EffectiveDecision(s, op)
 			if d.Kind != strategy.MP || d.Device != 1 {
 				t.Fatalf("%s decision %+v, want forward's MP@1", op.Name, d)
 			}
 		}
+	}
+}
+
+func TestBroadcastNonBatchProducer(t *testing.T) {
+	g := broadcastGraph(t)
+	c := cluster.Testbed4()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &strategy.Strategy{Grouping: gr, Decisions: []strategy.Decision{
+		{Kind: strategy.MP, Device: 0}, // producer on device 0
+		{Kind: strategy.DPEvenAR},      // consumer replicated everywhere
+	}}
+	// Align decisions to the right groups (grouping may reorder).
+	for gi, anchor := range gr.Anchors {
+		if g.Ops[anchor].Name == "table" {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.MP, Device: 0}
+		} else {
+			s.Decisions[gi] = strategy.Decision{Kind: strategy.DPEvenAR}
+		}
+	}
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// One broadcast send per consumer device lacking a local copy (3 of 4).
+	sends := 0
+	for _, op := range dg.Ops {
+		if op.Kind == graph.KindSend {
+			sends++
+			if op.OutBytes != 8<<20 {
+				t.Fatalf("broadcast must ship the full tensor, got %d bytes", op.OutBytes)
+			}
+		}
+	}
+	if sends != 3 {
+		t.Fatalf("%d broadcast sends, want 3", sends)
+	}
+}
+
+// broadcastGraph has a non-batch-dim producer (a weight-like table) feeding a
+// batched consumer — exercising the broadcast path in edge lowering.
+func broadcastGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("broadcast", 32)
+	table := g.AddOp("table", graph.KindEmbeddingLookup)
+	table.OutputBytes = 8 << 20
+	table.BatchDim = false
+	table.FLOPs = 1e6
+	user := g.AddOp("user", graph.KindMatMul, table)
+	user.OutputBytes = 4 << 20
+	user.BatchDim = true
+	user.FLOPs = 1e9
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestControlDependenciesSurviveCompilation(t *testing.T) {
+	g := graph.New("ctrl", 16)
+	a := g.AddOp("a", graph.KindMatMul)
+	a.OutputBytes = 1 << 20
+	a.BatchDim = true
+	a.FLOPs = 1e8
+	b := g.AddOp("b", graph.KindMatMul)
+	b.OutputBytes = 1 << 20
+	b.BatchDim = true
+	b.FLOPs = 1e8
+	b.ControlDeps = append(b.ControlDeps, a)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed4()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+	dg, err := Compile(g, c, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each replica of b must depend on a replica of a.
+	gated := 0
+	for _, op := range dg.Ops {
+		if op.Src == b {
+			for _, in := range op.Inputs {
+				if in.Src == a {
+					gated++
+				}
+			}
+		}
+	}
+	if gated != 4 {
+		t.Fatalf("%d control-gated replicas, want 4", gated)
 	}
 }

@@ -1,0 +1,138 @@
+package plan
+
+// Degenerate-topology edge cases: data parallelism on one device must
+// collapse to model parallelism (no glue, no aggregation), and two-device
+// AllReduce must pick the ring schedule over the hierarchical one.
+
+import (
+	"strings"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+	"heterog/internal/models"
+	"heterog/internal/profile"
+	"heterog/internal/strategy"
+)
+
+// oneGPU is a single-server, single-device cluster: every DP layout collapses
+// to one replica there.
+func oneGPU() *cluster.Cluster {
+	return cluster.New("one-gpu",
+		cluster.Config{GPUs: 1, Model: cluster.TeslaV100, NICBandwidth: cluster.Gbps(100), PCIeBandwidth: cluster.Gbps(120)},
+	)
+}
+
+// compileOn lowers vgg19 under a uniform decision on the given cluster.
+func compileOn(t *testing.T, c *cluster.Cluster, d strategy.Decision) *compiler.DistGraph {
+	t.Helper()
+	g, err := models.Build("vgg19", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, g.NumOps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := Compile(g, c, strategy.Uniform(gr, d), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dg
+}
+
+func TestSingleDeviceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		kind strategy.DecisionKind
+	}{
+		{"even-AR", strategy.DPEvenAR},
+		{"even-PS", strategy.DPEvenPS},
+		{"prop-AR", strategy.DPPropAR},
+		{"prop-PS", strategy.DPPropPS},
+	}
+	c := oneGPU()
+	mp := compileOn(t, c, strategy.Decision{Kind: strategy.MP, Device: 0})
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dg := compileOn(t, c, strategy.Decision{Kind: tc.kind})
+			for _, op := range dg.Ops {
+				// No partitioning glue or transfers: the single replica owns
+				// the whole batch.
+				switch op.Kind {
+				case graph.KindSplit, graph.KindConcat, graph.KindSend:
+					t.Fatalf("single-device DP emitted %v (%s)", op.Kind, op.Name)
+				// No aggregation: one replica's gradient is already the sum.
+				case graph.KindAllReduce, graph.KindGradAgg:
+					t.Fatalf("one-replica layout emitted aggregation op %s", op.Name)
+				}
+				if strings.Contains(op.Name, "_push@") || strings.Contains(op.Name, "_pull@") || strings.Contains(op.Name, "_relay@") {
+					t.Fatalf("one-replica layout emitted PS traffic %s", op.Name)
+				}
+			}
+			// Full degeneracy: op for op, the DP compile is the MP compile.
+			if len(dg.Ops) != len(mp.Ops) {
+				t.Fatalf("single-device DP compiles %d ops, MP compiles %d", len(dg.Ops), len(mp.Ops))
+			}
+			for i, op := range dg.Ops {
+				ref := mp.Ops[i]
+				if op.Name != ref.Name || op.Kind != ref.Kind || op.Time != ref.Time || op.OutBytes != ref.OutBytes {
+					t.Fatalf("op %d diverges from MP: %s/%v vs %s/%v", i, op.Name, op.Kind, ref.Name, ref.Kind)
+				}
+			}
+		})
+	}
+}
+
+func TestTwoDeviceAllReducePicksRing(t *testing.T) {
+	// Two single-GPU servers: the hierarchical schedule has no intra-server
+	// ring to exploit, so it can never beat (and the estimator must not pick
+	// it over) the plain two-device ring.
+	c := cluster.New("two-servers",
+		cluster.Config{GPUs: 1, Model: cluster.TeslaV100, NICBandwidth: cluster.Gbps(100), PCIeBandwidth: cluster.Gbps(120)},
+		cluster.Config{GPUs: 1, Model: cluster.GTX1080Ti, NICBandwidth: cluster.Gbps(50), PCIeBandwidth: cluster.Gbps(100)},
+	)
+	a := &Artifacts{Cluster: c}
+	devs := []int{0, 1}
+	const bytes = 64 << 20
+	ring := ringTime(a, devs, bytes)
+	hier := hierTime(a, devs, bytes)
+	if ring <= 0 {
+		t.Fatalf("ring estimate %v must be positive", ring)
+	}
+	if hier < ring {
+		t.Fatalf("hierarchical %v beat ring %v on two devices", hier, ring)
+	}
+	if got := allReduceTime(a, devs, bytes); got != ncclCollectiveOverhead+ring {
+		t.Fatalf("allReduceTime %v, want launch overhead + ring = %v", got, ncclCollectiveOverhead+ring)
+	}
+	// End to end: the compiled collectives carry exactly the ring estimate.
+	dg := compileOn(t, c, strategy.Decision{Kind: strategy.DPEvenAR})
+	collectives := 0
+	for _, op := range dg.Ops {
+		if op.Kind != graph.KindAllReduce {
+			continue
+		}
+		collectives++
+		grad := op.Inputs[0]
+		var gb int64
+		if grad.Src != nil && grad.Src.ParamBytes > 0 {
+			gb = grad.Src.ParamBytes
+		} else {
+			gb = grad.OutBytes
+		}
+		want := allReduceTime(a, devs, gb)
+		if op.Time != want {
+			t.Fatalf("collective %s time %v, want ring estimate %v", op.Name, op.Time, want)
+		}
+	}
+	if collectives == 0 {
+		t.Fatal("two-device even AR compiled no collectives")
+	}
+}

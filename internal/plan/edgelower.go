@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"fmt"
+
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+)
+
+// EdgeLoweringPass instantiates replicas of every computation op and wires
+// data edges between them, inserting Split/Concat/Send glue where producer
+// and consumer layouts differ. ApplyGradient ops (and their push/pull/relay
+// traffic) belong to AggregationLowering; control dependencies whose source
+// is an apply op are deferred to that pass's link step.
+type EdgeLoweringPass struct{}
+
+// Name implements Pass.
+func (EdgeLoweringPass) Name() string { return "edge-lowering" }
+
+// Run implements Pass.
+func (EdgeLoweringPass) Run(a *Artifacts) error {
+	a.prog = newProgram(a.Iterations, len(a.Order))
+	a.nodes = make(map[*compiler.DistOp]*Node, len(a.Order)*a.Iterations)
+	a.instances = make([]map[int]map[int]*compiler.DistOp, a.Iterations)
+	a.ready = make([]map[int]map[int]*compiler.DistOp, a.Iterations)
+	var bytes int64
+	for it := 0; it < a.Iterations; it++ {
+		a.instances[it] = make(map[int]map[int]*compiler.DistOp, len(a.Order))
+		a.ready[it] = make(map[int]map[int]*compiler.DistOp)
+		for ti, op := range a.Order {
+			switch op.Kind {
+			case graph.KindNoOp:
+				// Input pipeline: materializes on demand with no cost.
+				continue
+			case graph.KindApplyGradient:
+				continue
+			}
+			e := &emitter{a: a, iter: it, slot: ti}
+			moved, err := lowerCompute(a, e, op)
+			if err != nil {
+				return err
+			}
+			bytes += moved
+		}
+	}
+	a.note(a.prog.count(), bytes)
+	return nil
+}
+
+// lowerCompute mirrors the monolithic compileCompute: one instance per
+// layout device, then glue per input edge, then control dependencies. It
+// returns the tensor bytes routed through inserted transfers.
+func lowerCompute(a *Artifacts, e *emitter, op *graph.Op) (int64, error) {
+	lay := a.Layouts[op.ID]
+	inst := make(map[int]*compiler.DistOp)
+	a.instances[e.iter][op.ID] = inst
+	for _, dev := range lay.Devices() {
+		frac := lay.Fracs[dev]
+		t := a.Cost.OpTime(op, dev, frac)
+		// The activation buffer (OutBytes) is sized by MemoryPlanning; the
+		// node carries the batch fraction it needs.
+		n := e.add(fmt.Sprintf("it%d/%s@%d", e.iter, op.Name, dev), op.Kind, []int{dev}, t, 0, dev, op)
+		n.Op.Iter = e.iter
+		n.PlanMem = true
+		n.Frac = frac
+		inst[dev] = n.Op
+	}
+	var moved int64
+	for _, in := range op.Inputs {
+		if in.Kind == graph.KindNoOp {
+			continue
+		}
+		if in.Kind == graph.KindApplyGradient {
+			return 0, fmt.Errorf("op %q consumes the output of apply op %q: apply outputs have no tensor value and cannot be data inputs", op.Name, in.Name)
+		}
+		b, err := connect(a, e, in, op)
+		if err != nil {
+			return 0, err
+		}
+		moved += b
+	}
+	// Control dependencies transfer device-wise where possible, else to all.
+	// Sources lowered by the aggregation pass do not exist yet: defer them.
+	for _, cd := range op.ControlDeps {
+		if cd.Kind == graph.KindApplyGradient {
+			a.deferredCtrl = append(a.deferredCtrl, ctrlEdge{iter: e.iter, consumer: op, src: cd})
+			continue
+		}
+		srcInst, ok := a.instances[e.iter][cd.ID]
+		if !ok {
+			continue
+		}
+		wireCtrl(a, inst, srcInst)
+	}
+	return moved, nil
+}
+
+// wireCtrl adds ordering-only edges from a source op's instances to a
+// consumer's instances: same-device where available, else the first instance
+// in device order.
+func wireCtrl(a *Artifacts, inst, srcInst map[int]*compiler.DistOp) {
+	for dev, di := range inst {
+		si, ok := srcInst[dev]
+		if !ok {
+			if ss := sortedInstances(srcInst); len(ss) > 0 {
+				si = ss[0]
+			} else {
+				continue
+			}
+		}
+		di.Inputs = append(di.Inputs, si)
+		a.nodes[di].markCtrl(si)
+	}
+}
+
+// connect wires producer p's instances into consumer c's instances,
+// returning the bytes moved over inserted transfers.
+func connect(a *Artifacts, e *emitter, p, c *graph.Op) (int64, error) {
+	pl, ok := a.Layouts[p.ID]
+	if !ok {
+		return 0, fmt.Errorf("producer %q lowered after consumer %q", p.Name, c.Name)
+	}
+	cl := a.Layouts[c.ID]
+	pInst := a.instances[e.iter][p.ID]
+	cInst := a.instances[e.iter][c.ID]
+	var moved int64
+
+	// Non-batch producers hold a full copy per instance: each consumer device
+	// either has a local copy or receives a broadcast of the full tensor.
+	if !p.BatchDim {
+		srcs := sortedInstances(pInst)
+		for _, dev := range cl.Devices() {
+			if pi, ok := pInst[dev]; ok {
+				cInst[dev].Inputs = append(cInst[dev].Inputs, pi)
+				continue
+			}
+			send, err := e.addSend(fmt.Sprintf("%s->%d", p.Name, dev), srcs[0].MemDevice, dev, p.OutputBytes, srcs[0])
+			if err != nil {
+				return 0, err
+			}
+			moved += p.OutputBytes
+			cInst[dev].Inputs = append(cInst[dev].Inputs, send.Op)
+		}
+		return moved, nil
+	}
+
+	// Aligned layouts: direct same-device edges, no communication.
+	if pl.Equal(cl) {
+		for _, dev := range cl.Devices() {
+			cInst[dev].Inputs = append(cInst[dev].Inputs, pInst[dev])
+		}
+		return 0, nil
+	}
+
+	// MP -> MP across devices: a single whole-tensor transfer.
+	pDevs, cDevs := pl.Devices(), cl.Devices()
+	if len(pDevs) == 1 && len(cDevs) == 1 {
+		send, err := e.addSend(fmt.Sprintf("%s->%s", p.Name, c.Name), pDevs[0], cDevs[0], p.OutputBytes, pInst[pDevs[0]])
+		if err != nil {
+			return 0, err
+		}
+		cInst[cDevs[0]].Inputs = append(cInst[cDevs[0]].Inputs, send.Op)
+		return p.OutputBytes, nil
+	}
+
+	// General mismatch: gather shards to a hub, Concat, Split, scatter.
+	// The hub is the device touching the most data on both sides.
+	hub, best := -1, -1.0
+	for dev := 0; dev < a.Cluster.NumDevices(); dev++ {
+		score := pl.Fracs[dev] + cl.Fracs[dev]
+		if score > best {
+			best, hub = score, dev
+		}
+	}
+	var concatIns []*compiler.DistOp
+	var shardDevs []int
+	for _, dev := range pDevs {
+		pi := pInst[dev]
+		shardDevs = append(shardDevs, dev)
+		if dev == hub {
+			concatIns = append(concatIns, pi)
+			continue
+		}
+		bytes := int64(float64(p.OutputBytes) * pl.Fracs[dev])
+		send, err := e.addSend(fmt.Sprintf("%s@%d->hub%d", p.Name, dev, hub), dev, hub, bytes, pi)
+		if err != nil {
+			return 0, err
+		}
+		moved += bytes
+		concatIns = append(concatIns, send.Op)
+	}
+	whole := concatIns[0]
+	if len(concatIns) > 1 {
+		tmp := &graph.Op{Name: p.Name + "_concat", Kind: graph.KindConcat, OutputBytes: p.OutputBytes, BatchDim: true}
+		t := a.Cost.SyntheticOpTime(tmp, hub, 1)
+		cn := e.add(fmt.Sprintf("%s_concat@%d", p.Name, hub), graph.KindConcat, []int{hub}, t, p.OutputBytes, hub, nil, concatIns...)
+		cn.ShardDevs = shardDevs
+		whole = cn.Op
+	}
+	shardSrc := whole
+	if len(cDevs) > 1 {
+		tmp := &graph.Op{Name: p.Name + "_split", Kind: graph.KindSplit, OutputBytes: p.OutputBytes, BatchDim: true}
+		t := a.Cost.SyntheticOpTime(tmp, hub, 1)
+		shardSrc = e.add(fmt.Sprintf("%s_split@%d", p.Name, hub), graph.KindSplit, []int{hub}, t, p.OutputBytes, hub, nil, whole).Op
+	}
+	for _, dev := range cDevs {
+		if dev == hub {
+			cInst[dev].Inputs = append(cInst[dev].Inputs, shardSrc)
+			continue
+		}
+		bytes := int64(float64(p.OutputBytes) * cl.Fracs[dev])
+		send, err := e.addSend(fmt.Sprintf("hub%d->%s@%d", hub, c.Name, dev), hub, dev, bytes, shardSrc)
+		if err != nil {
+			return 0, err
+		}
+		moved += bytes
+		cInst[dev].Inputs = append(cInst[dev].Inputs, send.Op)
+	}
+	return moved, nil
+}

@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"sort"
+
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+)
+
+// Node is the plan IR: a pending DistOp plus the lowering metadata the later
+// passes need (transfer endpoints for NIC-lane assignment, memory-planning
+// inputs, concat shard provenance, which input edges are ordering-only).
+// The wrapped DistOp is the final object — Materialize assigns its dense ID
+// and, for transfers, its comm units; nothing is copied afterwards.
+type Node struct {
+	Op *compiler.DistOp
+
+	// Send marks a transfer; SrcDev/DstDev are its endpoints. Units are
+	// assigned by Materialize so NIC-lane round-robin follows global
+	// emission order.
+	Send           bool
+	SrcDev, DstDev int
+
+	// PlanMem marks a compute instance whose activation buffer is sized by
+	// MemoryPlanning from the source op and this batch fraction.
+	PlanMem bool
+	Frac    float64
+
+	// ShardDevs records, for a Concat, the origin device of each input
+	// shard in input order; Verify checks they ascend.
+	ShardDevs []int
+
+	// ctrl marks ordering-only input edges by producer identity.
+	ctrl map[*compiler.DistOp]bool
+}
+
+// markCtrl flags an input edge as ordering-only (a control dependency).
+func (n *Node) markCtrl(in *compiler.DistOp) {
+	if n.ctrl == nil {
+		n.ctrl = make(map[*compiler.DistOp]bool)
+	}
+	n.ctrl[in] = true
+}
+
+// isCtrl reports whether the edge from `in` is ordering-only.
+func (n *Node) isCtrl(in *compiler.DistOp) bool { return n.ctrl[in] }
+
+// ctrlEdge is a control dependency whose source is an ApplyGradient op:
+// EdgeLowering runs before AggregationLowering, so the source instances do
+// not exist yet and the edge is wired by the aggregation pass's link step.
+type ctrlEdge struct {
+	iter     int
+	consumer *graph.Op
+	src      *graph.Op
+}
+
+// program collects lowered nodes into per-(iteration, topo-position)
+// buckets. Each logical op is lowered by exactly one pass, so the buckets
+// partition cleanly; flattening them in (iteration, topo-position) order
+// reproduces the op creation order of the monolithic compiler, which the
+// simulator's tie-breaking and NIC-lane round-robin depend on.
+type program struct {
+	width   int // ops per iteration = len(Artifacts.Order)
+	buckets [][]*Node
+}
+
+func newProgram(iters, width int) *program {
+	return &program{width: width, buckets: make([][]*Node, iters*width)}
+}
+
+func (p *program) emit(iter, slot int, n *Node) {
+	i := iter*p.width + slot
+	p.buckets[i] = append(p.buckets[i], n)
+}
+
+// each visits every node in materialization order.
+func (p *program) each(f func(n *Node)) {
+	for _, b := range p.buckets {
+		for _, n := range b {
+			f(n)
+		}
+	}
+}
+
+func (p *program) count() int {
+	c := 0
+	for _, b := range p.buckets {
+		c += len(b)
+	}
+	return c
+}
+
+// emitter scopes node creation to one (iteration, topo-position) bucket —
+// the lowering of one logical op.
+type emitter struct {
+	a          *Artifacts
+	iter, slot int
+}
+
+// add creates a node. Units may be nil for transfers (assigned later).
+func (e *emitter) add(name string, kind graph.OpKind, units []int, t float64, outBytes int64, memDev int, src *graph.Op, inputs ...*compiler.DistOp) *Node {
+	op := &compiler.DistOp{
+		ID: -1, Name: name, Kind: kind, Src: src,
+		Units: units, Time: t, OutBytes: outBytes, MemDevice: memDev,
+		Inputs: inputs,
+	}
+	n := &Node{Op: op}
+	e.a.prog.emit(e.iter, e.slot, n)
+	e.a.nodes[op] = n
+	return n
+}
+
+// addSend creates a transfer node occupying the comm units between src and
+// dst; the units themselves are assigned at Materialize so lane round-robin
+// matches global emission order.
+func (e *emitter) addSend(name string, srcDev, dstDev int, bytes int64, inputs ...*compiler.DistOp) (*Node, error) {
+	if _, err := e.a.Cluster.LinkBetween(srcDev, dstDev); err != nil {
+		return nil, err
+	}
+	t := e.a.Cost.TransferTime(srcDev, dstDev, bytes)
+	n := e.add(name, graph.KindSend, nil, t, bytes, dstDev, nil, inputs...)
+	n.Send = true
+	n.SrcDev, n.DstDev = srcDev, dstDev
+	return n, nil
+}
+
+// sortedInstances returns instances in device order for determinism.
+func sortedInstances(m map[int]*compiler.DistOp) []*compiler.DistOp {
+	devs := make([]int, 0, len(m))
+	for d := range m {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	out := make([]*compiler.DistOp, 0, len(m))
+	for _, d := range devs {
+		out = append(out, m[d])
+	}
+	return out
+}

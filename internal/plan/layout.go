@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"fmt"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+	"heterog/internal/strategy"
+)
+
+// Layout is an op's replica arrangement: the fraction of the global batch
+// each device processes. MP layouts have a single 1.0 entry.
+type Layout struct {
+	Fracs []float64
+}
+
+// Devices lists the devices holding a replica, in ascending order.
+func (l Layout) Devices() []int {
+	var ds []int
+	for d, f := range l.Fracs {
+		if f > 0 {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Equal reports whether two layouts place identical fractions everywhere.
+func (l Layout) Equal(o Layout) bool {
+	if len(l.Fracs) != len(o.Fracs) {
+		return false
+	}
+	for i := range l.Fracs {
+		if l.Fracs[i] != o.Fracs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LayoutFor derives the replica layout of a decision on a cluster.
+func LayoutFor(d strategy.Decision, c *cluster.Cluster) Layout {
+	m := c.NumDevices()
+	fr := make([]float64, m)
+	switch d.Kind {
+	case strategy.MP:
+		fr[d.Device] = 1
+	case strategy.DPEvenPS, strategy.DPEvenAR:
+		for i := range fr {
+			fr[i] = 1 / float64(m)
+		}
+	case strategy.DPPropPS, strategy.DPPropAR:
+		counts := compiler.PropReplicaCounts(c)
+		total := 0
+		for _, k := range counts {
+			total += k
+		}
+		for i, k := range counts {
+			fr[i] = float64(k) / float64(total)
+		}
+	}
+	return Layout{Fracs: fr}
+}
+
+func oneHot(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}
+
+// LayoutPass validates the pipeline inputs, fixes the deterministic logical
+// topo order, and derives every compute op's replica layout from its
+// effective strategy decision. ApplyGradient layouts are owned by
+// AggregationLowering (a parameter server collapses the layout to the chosen
+// PS device).
+type LayoutPass struct{}
+
+// Name implements Pass.
+func (LayoutPass) Name() string { return "layout" }
+
+// Run implements Pass.
+func (LayoutPass) Run(a *Artifacts) error {
+	if err := a.Strategy.Validate(a.Cluster); err != nil {
+		return fmt.Errorf("invalid strategy: %w", err)
+	}
+	if a.Iterations < 1 {
+		return fmt.Errorf("iterations must be >= 1, got %d", a.Iterations)
+	}
+	order, err := a.Graph.TopoSort()
+	if err != nil {
+		return err
+	}
+	a.Order = order
+	a.Layouts = make(map[int]Layout, len(order))
+	placed := 0
+	for _, op := range order {
+		if op.Kind == graph.KindNoOp || op.Kind == graph.KindApplyGradient {
+			continue
+		}
+		d := compiler.EffectiveDecision(a.Strategy, op)
+		a.Layouts[op.ID] = LayoutFor(d, a.Cluster)
+		placed++
+	}
+	a.note(placed, 0)
+	return nil
+}

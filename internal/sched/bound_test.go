@@ -1,0 +1,60 @@
+package sched_test
+
+// Theorem-1 regression over the model zoo: list scheduling with upward-rank
+// priorities must stay within the paper's worst-case ratio of the optimum,
+// T_LS <= (M + M^2) * T*, checked against the computable lower bound
+// max(critical path, busiest unit) <= T* on the reference 12-GPU testbed.
+
+import (
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/models"
+	"heterog/internal/plan"
+	"heterog/internal/profile"
+	"heterog/internal/sched"
+	"heterog/internal/sim"
+	"heterog/internal/strategy"
+)
+
+func TestListSchedulingWithinWorstCaseBoundAcrossZoo(t *testing.T) {
+	c := cluster.Testbed12()
+	for _, key := range models.Names() {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			g, err := models.Build(key, 24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gr, err := strategy.Group(g, cm, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range []strategy.DecisionKind{strategy.DPEvenAR, strategy.DPPropPS} {
+				s := strategy.Uniform(gr, strategy.Decision{Kind: kind})
+				dg, err := plan.Compile(g, c, s, cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(dg, sched.Ranks(dg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				lb := sched.LowerBound(dg)
+				if lb <= 0 {
+					t.Fatalf("%v: lower bound %v must be positive", kind, lb)
+				}
+				m := float64(dg.NumUnits())
+				bound := (m + m*m) * lb
+				if res.Makespan > bound {
+					t.Fatalf("%v: T_LS = %v exceeds (M+M^2)*T* >= %v (M=%v, lower bound %v)",
+						kind, res.Makespan, bound, m, lb)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"heterog/internal/cluster"
 	"heterog/internal/compiler"
 	"heterog/internal/models"
+	"heterog/internal/plan"
 	"heterog/internal/profile"
 	"heterog/internal/sched"
 	"heterog/internal/strategy"
@@ -30,7 +31,7 @@ func reuseCase(t *testing.T, key string, batch int, kind strategy.DecisionKind) 
 		t.Fatal(err)
 	}
 	s := strategy.Uniform(gr, strategy.Decision{Kind: kind})
-	dg, err := compiler.CompileIter(g, c, s, cm, 3)
+	dg, err := plan.CompileIter(g, c, s, cm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,15 @@ type traceEvent struct {
 // execution unit, one slice per op occupancy. Multi-unit ops appear on every
 // unit they hold, mirroring how they block those resources.
 func WriteChromeTrace(w io.Writer, dg *compiler.DistGraph, res *Result) error {
+	return WriteChromeTraceMeta(w, dg, res, nil)
+}
+
+// WriteChromeTraceMeta is WriteChromeTrace with caller-supplied metadata
+// attached to the trace as a "heterog" metadata record — the public Runner
+// uses it to embed planning-pipeline provenance (per-pass timings, artifact
+// reuse counts) next to the schedule it explains. A nil or empty map emits no
+// extra record.
+func WriteChromeTraceMeta(w io.Writer, dg *compiler.DistGraph, res *Result, extra map[string]string) error {
 	if len(res.Starts) < len(dg.Ops) {
 		return fmt.Errorf("sim: result does not cover the graph (%d starts for %d ops)", len(res.Starts), len(dg.Ops))
 	}
@@ -77,6 +86,11 @@ func WriteChromeTrace(w io.Writer, dg *compiler.DistGraph, res *Result) error {
 		metas = append(metas, meta{
 			Name: "thread_name", Phase: "M", PID: 1, TID: u,
 			Args: map[string]string{"name": label},
+		})
+	}
+	if len(extra) > 0 {
+		metas = append(metas, meta{
+			Name: "heterog", Phase: "M", PID: 1, TID: 0, Args: extra,
 		})
 	}
 	out := struct {
