@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-robust bench-pipeline
+.PHONY: check vet lint build test race bench bench-robust bench-pipeline bench-serve
 
 # check is the tier-1 verification entry point: static analysis, build, the
 # full test suite, and the race detector over the concurrency-sensitive
@@ -29,11 +29,12 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with shared mutable state on the evaluation fast
-# path (plus the fault/robustness machinery feeding it); running the whole
-# tree under -race multiplies the RL/experiment test time ~10x for no extra
-# coverage, so it is scoped deliberately.
+# path (plus the fault/robustness machinery feeding it, and the planning
+# service whose worker pool shares warm caches across jobs); running the
+# whole tree under -race multiplies the RL/experiment test time ~10x for no
+# extra coverage, so it is scoped deliberately.
 race:
-	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/...
+	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/... ./internal/service/...
 
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json.
@@ -50,3 +51,10 @@ bench-robust:
 # the lowered-artifact cache).
 bench-pipeline:
 	$(GO) run ./cmd/heterog-bench -exp pipeline -out BENCH_pipeline.json
+
+# bench-serve regenerates the planning-service exhibit recorded in
+# BENCH_serve.json: an in-process server driven at several client
+# concurrency levels, reporting throughput, p50/p99 latency and the shared
+# warm-cache hit rates.
+bench-serve:
+	$(GO) run ./cmd/heterog-serve -loadgen -queue 16 -out BENCH_serve.json

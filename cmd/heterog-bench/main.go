@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"heterog/internal/cli"
 	"heterog/internal/experiments"
 )
 
@@ -35,18 +36,16 @@ func writeJSON(path string, v any) error {
 
 func main() {
 	log.SetFlags(0)
+	var spec cli.Spec
 	exp := flag.String("exp", "table1", "exhibit: table1,table2,table3,table4,table5,table6,table7,fig3a,fig3b,fig8,fig9,fig12,ablation,appendix,pipeline,robust,all")
-	episodes := flag.Int("episodes", 6, "RL episodes per model when planning HeteroG strategies")
-	seed := flag.Int64("seed", 1, "random seed")
+	flag.IntVar(&spec.Episodes, "episodes", 6, "RL episodes per model when planning HeteroG strategies")
+	flag.Int64Var(&spec.Seed, "seed", 1, "random seed")
 	unseen := flag.String("unseen", "", "comma-separated held-out models for table6")
-	faultK := flag.Int("faults", 4, "fault scenarios for the robust exhibit")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-scenario seed for the robust exhibit")
-	robust := flag.Bool("robust", false, "plan the robust exhibit under the blended nominal/worst-case objective")
-	blend := flag.Float64("blend", 0.5, "worst-case weight when -robust is set")
+	spec.RegisterFaultFlags(flag.CommandLine, 4)
 	out := flag.String("out", "", "write the robust exhibit's rows as JSON to this path")
 	flag.Parse()
 
-	lab := experiments.NewLab(experiments.Config{Episodes: *episodes, Seed: *seed})
+	lab := experiments.NewLab(experiments.Config{Episodes: spec.Episodes, Seed: spec.Seed})
 	run := func(name string) error {
 		t0 := time.Now()
 		var rep *experiments.Report
@@ -84,7 +83,7 @@ func main() {
 			rep, _, err = lab.Ablation()
 		case "robust":
 			var rows []experiments.RobustRow
-			rep, rows, err = lab.Robust(*faultK, *faultSeed, *robust, *blend)
+			rep, rows, err = lab.Robust(spec.FaultK, spec.FaultSeed, spec.Robust, spec.Blend)
 			if err == nil && *out != "" {
 				if werr := writeJSON(*out, rows); werr != nil {
 					return werr

@@ -18,68 +18,55 @@ import (
 
 	"heterog/internal/agent"
 	"heterog/internal/baselines"
-	"heterog/internal/cluster"
+	"heterog/internal/cli"
 	"heterog/internal/core"
 	"heterog/internal/faults"
-	"heterog/internal/models"
 	"heterog/internal/sim"
 	"heterog/internal/strategy"
 )
 
 func main() {
 	log.SetFlags(0)
-	model := flag.String("model", "vgg19", "model name (see internal/models)")
-	batch := flag.Int("batch", 192, "global batch size")
-	gpus := flag.Int("gpus", 8, "testbed size: 4, 8 or 12 GPUs")
-	seed := flag.Int64("seed", 1, "profiling seed")
+	var spec cli.Spec
+	spec.RegisterModelFlags(flag.CommandLine, "vgg19", 192)
+	spec.RegisterClusterFlags(flag.CommandLine, 8)
+	spec.RegisterSearchFlags(flag.CommandLine, 4)
+	spec.RegisterFaultFlags(flag.CommandLine, 0)
 	verbose := flag.Bool("v", false, "print per-unit busy times and evaluation-cache stats")
-	episodes := flag.Int("episodes", 4, "RL episodes for the HeteroG plan")
-	batchEps := flag.Int("batch-episodes", 0, "rollout batch size per policy update (0 = default)")
 	savePath := flag.String("save", "", "write the HeteroG strategy as JSON to this path")
 	tracePath := flag.String("trace", "", "write the simulated schedule as a Chrome trace to this path")
-	faultK := flag.Int("faults", 0, "score plans across this many fault scenarios (0 = off)")
-	faultSeed := flag.Int64("fault-seed", 1, "fault-scenario seed (same seed = identical scenarios)")
-	robust := flag.Bool("robust", false, "optimize the blended nominal/worst-case objective instead of nominal time (needs -faults)")
-	blend := flag.Float64("blend", 0.5, "worst-case weight in the robust objective")
 	dumpPasses := flag.Bool("dump-passes", false, "print per-pass planning-pipeline stats (timings, op/byte counts, recompiles avoided)")
 	flag.Parse()
 
-	var c *cluster.Cluster
-	switch *gpus {
-	case 4:
-		c = cluster.Testbed4()
-	case 8:
-		c = cluster.Testbed8()
-	case 12:
-		c = cluster.Testbed12()
-	default:
-		log.Fatalf("unsupported -gpus %d (want 4, 8 or 12)", *gpus)
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
-
-	g, err := models.Build(*model, *batch)
+	c, err := spec.BuildCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := spec.BuildGraph()
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := g.ComputeStats()
 	fmt.Printf("model %s  batch %d  ops %d  edges %d  params %.1f MB  flops %.1f G\n",
-		g.Name, *batch, st.Ops, st.Edges, float64(st.ParamBytes)/(1<<20), st.TotalFLOPs/1e9)
+		g.Name, g.BatchSize, st.Ops, st.Edges, float64(st.ParamBytes)/(1<<20), st.TotalFLOPs/1e9)
 
-	ev, err := core.NewEvaluator(g, c, *seed)
+	ev, err := core.NewEvaluator(g, c, spec.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var scenarios []*faults.Scenario
-	if *faultK > 0 {
-		scenarios = faults.Generate(c, faults.DefaultModel(*faultK, *faultSeed))
-		if *robust {
+	if spec.FaultK > 0 {
+		scenarios = faults.Generate(c, faults.DefaultModel(spec.FaultK, spec.FaultSeed))
+		if spec.Robust {
 			// Enable before planning: search optimizes the blended
 			// nominal/worst-case objective.
-			if err := ev.EnableRobustness(scenarios, *blend); err != nil {
+			if err := ev.EnableRobustness(scenarios, spec.Blend); err != nil {
 				log.Fatal(err)
 			}
 		}
-	} else if *robust {
-		log.Fatal("-robust needs -faults > 0")
 	}
 	report := func(label string, e *core.Evaluation) {
 		status := fmt.Sprintf("%.3fs", e.PerIter)
@@ -100,14 +87,14 @@ func main() {
 	}
 
 	acfg := agent.DefaultConfig(c.NumDevices())
-	if *batchEps > 0 {
-		acfg.BatchEpisodes = *batchEps
+	if spec.BatchEpisodes > 0 {
+		acfg.BatchEpisodes = spec.BatchEpisodes
 	}
 	ag, err := agent.New(acfg, c.NumDevices())
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := ag.Plan(ev, *episodes)
+	plan, err := ag.Plan(ev, spec.Episodes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +103,7 @@ func main() {
 		if plan.Robust == nil {
 			// Report-only mode: score the nominally planned strategy across
 			// the scenarios after the fact.
-			if err := ev.EnableRobustness(scenarios, *blend); err != nil {
+			if err := ev.EnableRobustness(scenarios, spec.Blend); err != nil {
 				log.Fatal(err)
 			}
 			if plan, err = ev.Evaluate(plan.Strategy); err != nil {
@@ -125,7 +112,7 @@ func main() {
 		}
 		rr := plan.Robust
 		fmt.Printf("robustness over %d fault scenarios (seed %d, blend %.2f, objective: %s):\n",
-			len(rr.Times), *faultSeed, rr.Blend, map[bool]string{true: "robust", false: "nominal"}[*robust])
+			len(rr.Times), spec.FaultSeed, rr.Blend, map[bool]string{true: "robust", false: "nominal"}[spec.Robust])
 		fmt.Printf("  nominal    %.3fs/iter\n", rr.Nominal)
 		fmt.Printf("  p95        %.3fs/iter\n", rr.P95)
 		fmt.Printf("  worst-case %.3fs/iter  (%s)\n", rr.Worst, rr.WorstScenario)

@@ -1,0 +1,183 @@
+// Command heterog-serve runs the HeteroG planning service: an HTTP/JSON
+// daemon that accepts planning jobs (zoo model or serialized graph + cluster
+// spec + search options), executes them on a bounded worker pool, and serves
+// the resulting plan reports, robustness reports, pipeline reports and
+// Chrome traces. Concurrent and repeated jobs for the same workload share
+// process-wide warm caches (evaluation LRU + lowered artifacts), so a busy
+// server plans far faster than N cold CLI runs.
+//
+// SIGINT/SIGTERM drains gracefully: the server stops accepting work,
+// finishes every job already admitted, then exits.
+//
+// With -loadgen the binary instead spins up an in-process server, drives it
+// with a mixed zoo workload at several client concurrency levels, and writes
+// the throughput/latency/cache-hit exhibit consumed by `make bench-serve`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":7070", "listen address")
+	workers := flag.Int("workers", 0, "planning worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 2x workers); full queue answers 429 + Retry-After")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job planning timeout (negative = none)")
+	evalCap := flag.Int("eval-cache-cap", 0, "evaluation-cache entries per workload warm set (0 = default)")
+	loweredCap := flag.Int("lowered-cache-cap", 0, "lowered-artifact cache entries per workload warm set (0 = default)")
+	warmSets := flag.Int("warm-sets", 0, "max distinct workloads with resident warm caches (0 = default)")
+	loadgen := flag.Bool("loadgen", false, "run the load-generator exhibit against an in-process server and exit")
+	out := flag.String("out", "BENCH_serve.json", "loadgen: output path")
+	jobs := flag.Int("jobs", 8, "loadgen: jobs per concurrency level")
+	levels := flag.String("levels", "1,2,4,8", "loadgen: comma-separated client concurrency levels")
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		JobTimeout:          *jobTimeout,
+		EvalCacheEntries:    *evalCap,
+		LoweredCacheEntries: *loweredCap,
+		MaxWarmSets:         *warmSets,
+	}
+
+	if *loadgen {
+		if err := runLoadgen(cfg, *out, *jobs, *levels); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv := service.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("heterog-serve listening on %s (%d workers, queue %d)",
+		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s, draining (in-flight jobs finish, new submissions refused)", s)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Stop accepting HTTP traffic, then drain the job queue: every admitted
+	// job runs to a terminal state before the process exits.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("drained: %d done, %d failed, %d canceled (%d accepted, %d rejected)",
+		st.Done, st.Failed, st.Canceled, st.Accepted, st.Rejected)
+}
+
+// benchOutput is the BENCH_serve.json schema.
+type benchOutput struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoVersion   string               `json:"go_version"`
+	Workers     int                  `json:"workers"`
+	QueueDepth  int                  `json:"queue_depth"`
+	Workload    []string             `json:"workload"`
+	Results     []service.LoadResult `json:"results"`
+}
+
+// runLoadgen starts an in-process server on a loopback port and measures it
+// with the shared load generator.
+func runLoadgen(cfg service.Config, out string, jobsPerLevel int, levelsCSV string) error {
+	var levels []int
+	for _, f := range strings.Split(levelsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -levels entry %q", f)
+		}
+		levels = append(levels, n)
+	}
+
+	srv := service.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	// Mixed zoo workload: two distinct workloads so the warm-set registry
+	// holds several cache sets, each shared by repeated submissions.
+	specs := []cli.Spec{
+		{Model: "vgg19", Batch: 64, GPUs: 4, Seed: 1, Episodes: 1},
+		{Model: "resnet200", Batch: 64, GPUs: 4, Seed: 1, Episodes: 1},
+	}
+	var names []string
+	for _, sp := range specs {
+		names = append(names, fmt.Sprintf("%s@%d/gpus=%d", sp.Model, sp.Batch, sp.GPUs))
+	}
+
+	client := service.NewClient("http://" + ln.Addr().String())
+	log.Printf("loadgen: %d jobs per level over %v against %s (%d workers)",
+		jobsPerLevel, levels, ln.Addr(), srv.Config().Workers)
+	results, err := service.RunLoad(context.Background(), client, service.LoadConfig{
+		Specs:         specs,
+		Concurrencies: levels,
+		JobsPerLevel:  jobsPerLevel,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		log.Printf("  conc %2d: %5.2f jobs/s  p50 %6.0fms  p99 %6.0fms  eval-hit %4.1f%%  lowered-hit %4.1f%%  (failed %d, 429-retries %d)",
+			r.Concurrency, r.Throughput, r.P50Sec*1e3, r.P99Sec*1e3,
+			100*r.EvalHitRate, 100*r.LoweredHitRate, r.Failed, r.Retries429)
+	}
+
+	bench := benchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Workers:     srv.Config().Workers,
+		QueueDepth:  srv.Config().QueueDepth,
+		Workload:    names,
+		Results:     results,
+	}
+	raw, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("loadgen: wrote %s", out)
+	return nil
+}

@@ -13,52 +13,36 @@ import (
 	"time"
 
 	"heterog/internal/agent"
-	"heterog/internal/cluster"
+	"heterog/internal/cli"
 	"heterog/internal/core"
 	"heterog/internal/models"
 )
 
 func main() {
 	log.SetFlags(0)
+	var spec cli.Spec
 	modelsFlag := flag.String("models", "vgg19,mobilenet_v2,inception_v3", "comma-separated training graphs")
-	gpus := flag.Int("gpus", 8, "testbed size: 4, 8 or 12")
-	episodes := flag.Int("episodes", 40, "maximum episodes per graph")
+	spec.RegisterClusterFlags(flag.CommandLine, 8)
+	spec.RegisterSearchFlags(flag.CommandLine, 40)
 	patience := flag.Int("patience", 8, "stop a graph after this many episodes without improvement")
-	batchEps := flag.Int("batch-episodes", 0, "rollouts per forward pass / policy update (0 = default)")
-	seed := flag.Int64("seed", 1, "random seed")
 	loadPath := flag.String("load", "", "warm-start from an agent checkpoint (Table 6's fine-tuning protocol)")
 	savePath := flag.String("save", "", "write the trained agent checkpoint to this path")
 	flag.Parse()
 
-	var c *cluster.Cluster
-	switch *gpus {
-	case 4:
-		c = cluster.Testbed4()
-	case 8:
-		c = cluster.Testbed8()
-	case 12:
-		c = cluster.Testbed12()
-	default:
-		log.Fatalf("unsupported -gpus %d", *gpus)
+	c, err := spec.BuildCluster()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	var evs []*core.Evaluator
 	for _, key := range strings.Split(*modelsFlag, ",") {
 		key = strings.TrimSpace(key)
-		batch := 192
-		for _, bm := range models.StandardBenchmarks() {
-			if bm.Key == key {
-				batch = bm.Batch8
-				if *gpus == 12 {
-					batch = bm.Batch12
-				}
-			}
-		}
+		batch := cli.DefaultBatch(key, spec.GPUs, 192)
 		g, err := models.Build(key, batch)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ev, err := core.NewEvaluator(g, c, *seed)
+		ev, err := core.NewEvaluator(g, c, spec.Seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,9 +51,9 @@ func main() {
 	}
 
 	cfg := agent.DefaultConfig(c.NumDevices())
-	cfg.Seed = *seed
-	if *batchEps > 0 {
-		cfg.BatchEpisodes = *batchEps
+	cfg.Seed = spec.Seed
+	if spec.BatchEpisodes > 0 {
+		cfg.BatchEpisodes = spec.BatchEpisodes
 	}
 	ag, err := agent.New(cfg, c.NumDevices())
 	if err != nil {
@@ -87,7 +71,7 @@ func main() {
 		fmt.Printf("warm-started from %s\n", *loadPath)
 	}
 	t0 := time.Now()
-	results, err := ag.Train(evs, *episodes, *patience)
+	results, err := ag.Train(evs, spec.Episodes, *patience)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+// Serve: the planning service end to end, in one process.
+//
+// The CLI tools plan one job per invocation, cold. The service keeps a
+// worker pool and per-workload warm caches resident, so a stream of jobs —
+// concurrent or repeated — amortizes lowering and evaluation work that a
+// cold process pays every time.
+//
+// This example starts an in-process server, talks to it exclusively through
+// the typed service.Client (the same API a remote caller would use over
+// HTTP), and shows the three things the service adds over the library:
+//
+//  1. concurrent submissions sharing a worker pool,
+//  2. a repeated job hitting the first job's warm caches,
+//  3. replanning a finished job onto a degraded cluster via the Replan
+//     endpoint, reusing the warm agent server-side.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	srv := service.New(service.Config{Workers: 2})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	ctx := context.Background()
+	client := service.NewClient("http://" + ln.Addr().String())
+	fmt.Printf("planning service at %s (%d workers)\n\n", ln.Addr(), srv.Config().Workers)
+
+	// 1. Two different workloads, submitted back to back; the worker pool
+	// plans them concurrently.
+	specs := []cli.Spec{
+		{Model: "vgg19", Batch: 64, GPUs: 4, Seed: 1, Episodes: 2},
+		{Model: "resnet50", Batch: 64, GPUs: 4, Seed: 1, Episodes: 2},
+	}
+	var ids []string
+	for _, sp := range specs {
+		st, err := client.Submit(ctx, sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted %s: %s@%d on %s (%d devices)\n", st.ID, st.Model, st.Batch, st.Cluster, st.Devices)
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, err := client.Wait(ctx, id, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := client.Report(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s %-9s per-iter %.3fs (planned in %.2fs, state %s)\n",
+			st.ID, rep.Model, rep.PerIterationSec, rep.PlanSec, st.State)
+	}
+
+	// 2. Resubmit the first workload unchanged: same workload fingerprint →
+	// same warm set, so the evaluation and lowered-artifact caches hit.
+	st, err := client.Submit(ctx, specs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, st.ID, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := client.Report(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresubmitted %s as %s: planned in %.2fs\n", specs[0].Model, st.ID, rep.PlanSec)
+	if w := rep.Warm; w != nil {
+		fmt.Printf("warm set after repeat: %d jobs shared it, eval cache %d hits / %d misses, lowered %d hits / %d misses\n",
+			w.SharedJobs, w.Eval.Hits, w.Eval.Misses, w.Lowered.Hits, w.Lowered.Misses)
+	}
+
+	// 3. A device dies: replan the finished job on the shrunken cluster.
+	// The server reuses the source job's warm agent when device counts allow.
+	drop := 0
+	re, err := client.Replan(ctx, ids[0], service.ReplanRequest{DropDevice: &drop})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, re.ID, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	reRep, err := client.Report(ctx, re.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplan %s after dropping device %d: %d devices, per-iter %.3fs (planned in %.2fs)\n",
+		re.ID, drop, reRep.Devices, reRep.PerIterationSec, reRep.PlanSec)
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver totals: %d accepted, %d done, %d warm sets resident\n",
+		stats.Accepted, stats.Done, len(stats.WarmSets))
+}

@@ -29,6 +29,7 @@
 package heterog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -78,6 +79,13 @@ type settings struct {
 	faultK    int
 	faultSeed int64
 	blend     float64
+	// ctx cancels strategy search between episode batches (nil = Background).
+	ctx context.Context
+	// caches, when non-nil, is a shared warm-cache set replacing the private
+	// per-runner caches; evalCap/loweredCap size private caches otherwise
+	// (0 = package defaults).
+	caches              *CacheSet
+	evalCap, loweredCap int
 }
 
 func defaultSettings() settings {
@@ -138,6 +146,30 @@ func WithRobustness(k int, blend float64) Option {
 // Identical seeds yield bit-identical scenario sets and robustness scores.
 func WithFaultSeed(seed int64) Option {
 	return optionFunc(func(s *settings) { s.faultSeed = seed })
+}
+
+// WithContext makes strategy search cancellable: planning checks the context
+// between episode batches and GetRunner returns the context's error (wrapped,
+// errors.Is-detectable) once it fires. The planning service uses this for
+// per-job timeouts and client-initiated cancellation.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(s *settings) { s.ctx = ctx })
+}
+
+// WithCaches plans through a shared warm-cache set instead of private
+// per-runner caches, so repeated and concurrent plans of the same workload
+// hit warm state. See CacheSet for the (model, cluster, seed) identity rule
+// the caller must uphold.
+func WithCaches(cs *CacheSet) Option {
+	return optionFunc(func(s *settings) { s.caches = cs })
+}
+
+// WithCacheCapacities sizes the runner's private evaluation and
+// lowered-artifact caches (entries, not bytes; 0 keeps the package defaults).
+// Ignored when WithCaches supplies a shared set, which carries its own
+// capacities.
+func WithCacheCapacities(evalEntries, loweredEntries int) Option {
+	return optionFunc(func(s *settings) { s.evalCap, s.loweredCap = evalEntries, loweredEntries })
 }
 
 // Config is the legacy heterog_config object.
@@ -256,6 +288,11 @@ func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.caches != nil {
+		cfg.caches.install(ev)
+	} else if cfg.evalCap > 0 || cfg.loweredCap > 0 {
+		NewCacheSet(cfg.evalCap, cfg.loweredCap).install(ev)
+	}
 	ev.UseFIFO = cfg.useDefaultOrder
 	if cfg.faultK > 0 {
 		scs := faults.Generate(devices, faults.DefaultModel(cfg.faultK, cfg.faultSeed))
@@ -275,7 +312,11 @@ func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
 			return nil, err
 		}
 	}
-	p, err := ag.Plan(ev, cfg.episodes)
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := ag.PlanContext(ctx, ev, cfg.episodes)
 	if err != nil {
 		return nil, fmt.Errorf("heterog: strategy search: %w", err)
 	}
@@ -362,13 +403,31 @@ func (r *Runner) WriteTrace(w io.Writer) error {
 // wins, so a Replan never does worse than running the stale plan on the
 // degraded cluster. The original Runner is left untouched.
 func (r *Runner) Replan(newDevices *DeviceInfo) (*Runner, error) {
+	return r.ReplanWithOptions(newDevices)
+}
+
+// ReplanWithOptions is Replan with extra per-call Options layered on top of
+// the original planning configuration — typically WithContext for a timeout
+// on the replanning search, or WithCaches to plan through a warm-cache set
+// keyed to the degraded cluster. The original request's context and caches
+// are always dropped first: the former has usually expired, and the latter
+// is keyed to the old cluster, whose cached timings would be silently wrong
+// on the new one.
+func (r *Runner) ReplanWithOptions(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
 	if newDevices == nil || newDevices.NumDevices() == 0 {
 		return nil, fmt.Errorf("heterog: replan needs a non-empty device set")
 	}
 	cfg := r.cfg
+	cfg.ctx = nil
+	cfg.caches = nil
 	cfg.agent = nil
 	if newDevices.NumDevices() == r.Cluster.NumDevices() {
 		cfg.agent = r.agent
+	}
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
+		}
 	}
 	nr, err := plan(r.Graph, newDevices, cfg)
 	if err != nil {
@@ -383,6 +442,40 @@ func (r *Runner) Replan(newDevices *DeviceInfo) (*Runner, error) {
 		}
 	}
 	return nr, nil
+}
+
+// ScoreFaults scores the runner's already-chosen plan across k deterministic
+// fault scenarios drawn from seed, without replanning — the report-only
+// counterpart of WithRobustness (which makes the search itself optimize for
+// the scenarios). blend only labels the report's objective weight; <= 0
+// selects the default. The runner is left unchanged.
+func (r *Runner) ScoreFaults(k int, seed int64, blend float64) (*RobustReport, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("heterog: ScoreFaults needs k > 0, got %d", k)
+	}
+	// Score on a twin of the evaluator so the runner's own evaluator stays in
+	// whatever mode it was planned under; the twin shares the caches, with
+	// scenario tags keeping the keys disjoint.
+	ev := *r.evaluator
+	ev.Robust = nil
+	scs := faults.Generate(r.Cluster, faults.DefaultModel(k, seed))
+	if err := ev.EnableRobustness(scs, blend); err != nil {
+		return nil, fmt.Errorf("heterog: %w", err)
+	}
+	e, err := ev.Evaluate(r.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("heterog: fault scoring: %w", err)
+	}
+	rep := e.Robust
+	return &RobustReport{
+		Scenarios:     len(rep.Times),
+		NominalSec:    rep.Nominal,
+		P95Sec:        rep.P95,
+		WorstSec:      rep.Worst,
+		OOMUnderFault: rep.OOMFaults,
+		WorstScenario: rep.WorstScenario,
+		Blend:         rep.Blend,
+	}, nil
 }
 
 // ZooModel adapts a bundled benchmark model into a ModelFunc.

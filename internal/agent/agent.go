@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -386,6 +387,19 @@ func (a *Agent) update(t *nn.Tape, probs *nn.Node, params []*nn.Node, key string
 // `episodes` RL rollouts, seeded with the domain-heuristic candidate pool.
 // The returned evaluation is re-simulated, so its timings are exact.
 func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error) {
+	return a.PlanContext(context.Background(), ev, episodes)
+}
+
+// PlanContext is Plan with cooperative cancellation: the context is checked
+// between the heuristic candidate pool and each episode batch (a rollout
+// batch is the unit of work — an in-flight batch finishes before the
+// cancellation is observed), returning the context's error once it fires.
+// Long-lived callers (the planning service) use this for per-job timeouts
+// and client-initiated cancellation.
+func (a *Agent) PlanContext(ctx context.Context, ev *core.Evaluator, episodes int) (*core.Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	st, err := a.state(ev)
 	if err != nil {
 		return nil, err
@@ -450,6 +464,9 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 		consider(fifoEvals[i])
 	}
 	for done := 0; done < episodes; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		k := min(a.batchSize(), episodes-done)
 		eps, err := a.RunEpisodes(ev, k, true)
 		if err != nil {
@@ -461,6 +478,9 @@ func (a *Agent) Plan(ev *core.Evaluator, episodes int) (*core.Evaluation, error)
 		done += k
 	}
 	if episodes > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ep, err := a.RunEpisode(ev, false, true)
 		if err != nil {
 			return nil, err

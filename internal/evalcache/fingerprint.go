@@ -3,8 +3,11 @@ package evalcache
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"math"
 
+	"heterog/internal/cluster"
 	"heterog/internal/compiler"
+	"heterog/internal/graph"
 	"heterog/internal/strategy"
 )
 
@@ -50,6 +53,79 @@ func Fingerprint(s *strategy.Strategy, useFIFO bool, iterations int, ab compiler
 // (mistakenly) shared cache.
 func LoweredFingerprint(s *strategy.Strategy, iterations int, ab compiler.Ablations, scenario uint64) Key {
 	return sha256.Sum256(fingerprintBody(s, iterations, ab, scenario, 'L'))
+}
+
+// WorkloadFingerprint identifies a whole planning workload: the triple
+// (graph, cluster, profiling seed) that scopes every evaluation and lowered
+// cache. Two submissions with the same fingerprint may safely share warm
+// caches — the planning service keys its process-wide warm-state registry by
+// it. The hash covers graph structure and per-op costs (not just the name, so
+// two serialized graphs that happen to share a name stay distinct) and the
+// cluster's devices, servers and bandwidths, all under the lowering-scheme
+// version so a compiler change rotates every workload key.
+func WorkloadFingerprint(g *graph.Graph, c *cluster.Cluster, seed int64) Key {
+	h := sha256.New()
+	var w [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	h.Write([]byte{'W'})
+	str(compiler.IRVersion)
+	u64(uint64(seed))
+	str(g.Name)
+	u64(uint64(g.BatchSize))
+	u64(uint64(g.OptimizerSlots))
+	u64(uint64(len(g.Ops)))
+	for _, op := range g.Ops {
+		u64(uint64(op.Kind))
+		f64(op.FLOPs)
+		u64(uint64(op.ParamBytes))
+		u64(uint64(op.OutputBytes))
+		u64(uint64(op.SparseGradBytes))
+		f64(op.MemScale)
+		var flags uint64
+		if op.BatchDim {
+			flags = 1
+		}
+		u64(flags)
+		u64(uint64(len(op.Inputs)))
+		for _, in := range op.Inputs {
+			u64(uint64(in.ID))
+		}
+		u64(uint64(len(op.ControlDeps)))
+		for _, dep := range op.ControlDeps {
+			u64(uint64(dep.ID))
+		}
+		if op.Forward != nil {
+			u64(uint64(op.Forward.ID) + 1)
+		} else {
+			u64(0)
+		}
+	}
+	str(c.Name)
+	u64(uint64(len(c.Devices)))
+	for _, d := range c.Devices {
+		str(d.Model.Name)
+		f64(d.Model.PeakTFLOPS)
+		u64(uint64(d.Model.MemBytes))
+		f64(d.Model.Power)
+		u64(uint64(d.Server))
+	}
+	u64(uint64(len(c.Servers)))
+	for _, s := range c.Servers {
+		f64(s.NICBandwidth)
+		f64(s.PCIeBandwidth)
+		u64(uint64(s.NICLanes))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
 }
 
 func fingerprintBody(s *strategy.Strategy, iterations int, ab compiler.Ablations, scenario uint64, domain byte) []byte {

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON wire format for graphs: clients that do not use one of the bundled
+// zoo models submit their single-GPU training graph in this shape (the
+// planning service's "serialized graph" job input). Ops are listed in ID
+// order and reference each other by ID; kinds travel as their String() names
+// so the format stays readable and stable across OpKind renumbering.
+
+type jsonOp struct {
+	ID              int     `json:"id"`
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`
+	FLOPs           float64 `json:"flops,omitempty"`
+	ParamBytes      int64   `json:"param_bytes,omitempty"`
+	OutputBytes     int64   `json:"output_bytes,omitempty"`
+	BatchDim        bool    `json:"batch_dim,omitempty"`
+	Inputs          []int   `json:"inputs,omitempty"`
+	ControlDeps     []int   `json:"control_deps,omitempty"`
+	Layer           int     `json:"layer,omitempty"`
+	Forward         *int    `json:"forward,omitempty"`
+	MemScale        float64 `json:"mem_scale,omitempty"`
+	SparseGradBytes int64   `json:"sparse_grad_bytes,omitempty"`
+}
+
+type jsonGraph struct {
+	Name           string   `json:"name"`
+	BatchSize      int      `json:"batch_size"`
+	OptimizerSlots int      `json:"optimizer_slots,omitempty"`
+	Ops            []jsonOp `json:"ops"`
+}
+
+// kindByName is the inverse of kindNames, for decoding.
+var kindByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// KindFromString resolves an OpKind by its String() name.
+func KindFromString(name string) (OpKind, error) {
+	k, ok := kindByName[name]
+	if !ok {
+		return 0, fmt.Errorf("graph: unknown op kind %q", name)
+	}
+	return k, nil
+}
+
+// MarshalJSON renders the graph in the serialized-graph wire format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Name:           g.Name,
+		BatchSize:      g.BatchSize,
+		OptimizerSlots: g.OptimizerSlots,
+		Ops:            make([]jsonOp, 0, len(g.Ops)),
+	}
+	for _, op := range g.Ops {
+		jo := jsonOp{
+			ID: op.ID, Name: op.Name, Kind: op.Kind.String(),
+			FLOPs: op.FLOPs, ParamBytes: op.ParamBytes,
+			OutputBytes: op.OutputBytes, BatchDim: op.BatchDim,
+			Layer: op.Layer, MemScale: op.MemScale,
+			SparseGradBytes: op.SparseGradBytes,
+		}
+		for _, in := range op.Inputs {
+			jo.Inputs = append(jo.Inputs, in.ID)
+		}
+		for _, dep := range op.ControlDeps {
+			jo.ControlDeps = append(jo.ControlDeps, dep.ID)
+		}
+		if op.Forward != nil {
+			fid := op.Forward.ID
+			jo.Forward = &fid
+		}
+		jg.Ops = append(jg.Ops, jo)
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON rebuilds a graph from the serialized-graph wire format,
+// resolving op references and restoring the ID allocator. The decoded graph
+// is structurally checked (dense IDs, references in range); semantic checks
+// (acyclicity, single loss) remain with Validate.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	ops := make([]*Op, len(jg.Ops))
+	for i, jo := range jg.Ops {
+		if jo.ID != i {
+			return fmt.Errorf("graph: op %d has ID %d, want dense IDs in order", i, jo.ID)
+		}
+		kind, err := KindFromString(jo.Kind)
+		if err != nil {
+			return fmt.Errorf("graph: op %q: %w", jo.Name, err)
+		}
+		ops[i] = &Op{
+			ID: jo.ID, Name: jo.Name, Kind: kind,
+			FLOPs: jo.FLOPs, ParamBytes: jo.ParamBytes,
+			OutputBytes: jo.OutputBytes, BatchDim: jo.BatchDim,
+			Layer: jo.Layer, MemScale: jo.MemScale,
+			SparseGradBytes: jo.SparseGradBytes,
+		}
+	}
+	resolve := func(opName string, ids []int) ([]*Op, error) {
+		if len(ids) == 0 {
+			return nil, nil
+		}
+		refs := make([]*Op, len(ids))
+		for i, id := range ids {
+			if id < 0 || id >= len(ops) {
+				return nil, fmt.Errorf("graph: op %q references op %d of %d", opName, id, len(ops))
+			}
+			refs[i] = ops[id]
+		}
+		return refs, nil
+	}
+	for i, jo := range jg.Ops {
+		var err error
+		if ops[i].Inputs, err = resolve(jo.Name, jo.Inputs); err != nil {
+			return err
+		}
+		if ops[i].ControlDeps, err = resolve(jo.Name, jo.ControlDeps); err != nil {
+			return err
+		}
+		if jo.Forward != nil {
+			refs, err := resolve(jo.Name, []int{*jo.Forward})
+			if err != nil {
+				return err
+			}
+			ops[i].Forward = refs[0]
+		}
+	}
+	g.Name = jg.Name
+	g.BatchSize = jg.BatchSize
+	g.OptimizerSlots = jg.OptimizerSlots
+	g.Ops = ops
+	g.nextID = len(ops)
+	return nil
+}
+
+// WriteJSON writes the graph to w in the serialized-graph wire format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(g)
+}
+
+// ReadJSON decodes a graph from r and validates it, so service and CLI
+// entry points accepting untrusted serialized graphs get the full semantic
+// checks in one call.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	g := &Graph{}
+	if err := json.NewDecoder(r).Decode(g); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: invalid serialized graph: %w", err)
+	}
+	return g, nil
+}

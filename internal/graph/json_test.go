@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// wireGraph builds a tiny fwd→loss→bwd→apply chain exercising every
+// reference field (inputs, control deps, forward links).
+func wireGraph() *Graph {
+	g := New("tiny", 32)
+	g.OptimizerSlots = 4
+	mm := g.AddOp("mm", KindMatMul)
+	mm.FLOPs = 1e9
+	mm.ParamBytes = 4 << 20
+	mm.OutputBytes = 1 << 20
+	mm.BatchDim = true
+	mm.Layer = 1
+	mm.MemScale = 2
+	loss := g.AddOp("loss", KindLoss, mm)
+	loss.OutputBytes = 4
+	loss.BatchDim = true
+	bp := g.AddOp("mm_bp", KindMatMulBp, loss)
+	bp.FLOPs = 2e9
+	bp.OutputBytes = 4 << 20
+	bp.Forward = mm
+	bp.SparseGradBytes = 1 << 20
+	apply := g.AddOp("apply", KindApplyGradient, bp)
+	apply.Forward = mm
+	apply.ControlDeps = []*Op{loss}
+	return g
+}
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := wireGraph()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.BatchSize != g.BatchSize || got.OptimizerSlots != g.OptimizerSlots {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.NumOps() != g.NumOps() {
+		t.Fatalf("got %d ops, want %d", got.NumOps(), g.NumOps())
+	}
+	for i, op := range g.Ops {
+		dop := got.Ops[i]
+		if dop.Name != op.Name || dop.Kind != op.Kind || dop.FLOPs != op.FLOPs ||
+			dop.ParamBytes != op.ParamBytes || dop.OutputBytes != op.OutputBytes ||
+			dop.BatchDim != op.BatchDim || dop.Layer != op.Layer ||
+			dop.MemScale != op.MemScale || dop.SparseGradBytes != op.SparseGradBytes {
+			t.Fatalf("op %d fields differ: got %+v want %+v", i, dop, op)
+		}
+		ids := func(ops []*Op) []int {
+			var out []int
+			for _, o := range ops {
+				out = append(out, o.ID)
+			}
+			return out
+		}
+		if !reflect.DeepEqual(ids(dop.Inputs), ids(op.Inputs)) {
+			t.Fatalf("op %d inputs differ", i)
+		}
+		if !reflect.DeepEqual(ids(dop.ControlDeps), ids(op.ControlDeps)) {
+			t.Fatalf("op %d control deps differ", i)
+		}
+		if (dop.Forward == nil) != (op.Forward == nil) {
+			t.Fatalf("op %d forward link differs", i)
+		}
+		if dop.Forward != nil && dop.Forward.ID != op.Forward.ID {
+			t.Fatalf("op %d forward target differs", i)
+		}
+	}
+	// The restored ID allocator must not collide with decoded ops.
+	next := got.AddOp("extra", KindNoOp)
+	if next.ID != g.NumOps() {
+		t.Fatalf("next ID %d, want %d", next.ID, g.NumOps())
+	}
+}
+
+func TestGraphJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":      `{"name":"x","batch_size":8,"ops":[{"id":0,"name":"a","kind":"Nope"}]}`,
+		"sparse ids":    `{"name":"x","batch_size":8,"ops":[{"id":1,"name":"a","kind":"MatMul"}]}`,
+		"input range":   `{"name":"x","batch_size":8,"ops":[{"id":0,"name":"a","kind":"MatMul","inputs":[7]}]}`,
+		"forward range": `{"name":"x","batch_size":8,"ops":[{"id":0,"name":"a","kind":"MatMul","forward":-1}]}`,
+		"cycle":         `{"name":"x","batch_size":8,"ops":[{"id":0,"name":"a","kind":"MatMul","inputs":[1]},{"id":1,"name":"b","kind":"MatMul","inputs":[0]}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k, name := range kindNames {
+		got, err := KindFromString(name)
+		if err != nil || got != k {
+			t.Fatalf("kind %v: round-trip gave %v, %v", k, got, err)
+		}
+	}
+	var jg jsonGraph
+	if err := json.Unmarshal([]byte(`{"ops":[]}`), &jg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"heterog/internal/cli"
+)
+
+// Client is the typed Go client for the planning service. It speaks the
+// /v1 HTTP/JSON API; the zero HTTPClient uses http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status int
+	// RetryAfter echoes the backpressure hint on 429 responses.
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// do issues one request and decodes the JSON response into out (skipped when
+// out is nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := time.ParseDuration(ra + "s"); err == nil {
+				apiErr.RetryAfter = secs
+			}
+		}
+		var he httpError
+		if json.NewDecoder(resp.Body).Decode(&he) == nil && he.Error != "" {
+			apiErr.Message = he.Error
+		} else {
+			apiErr.Message = resp.Status
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a planning job and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, spec cli.Spec) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait long-polls until the job reaches a terminal state or ctx fires. Each
+// poll blocks server-side for up to pollWait (default 30s when zero).
+func (c *Client) Wait(ctx context.Context, id string, pollWait time.Duration) (*JobStatus, error) {
+	if pollWait <= 0 {
+		pollWait = 30 * time.Second
+	}
+	for {
+		var st JobStatus
+		err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait="+pollWait.String(), nil, &st)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return &st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return &st, err
+		}
+	}
+}
+
+// Report fetches a finished job's plan report.
+func (c *Client) Report(ctx context.Context, id string) (*PlanReport, error) {
+	var rep PlanReport
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/report", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Trace streams a finished job's Chrome trace into w.
+func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var he httpError
+		_ = json.NewDecoder(resp.Body).Decode(&he)
+		return &APIError{Status: resp.StatusCode, Message: he.Error}
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Cancel cancels a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Replan submits a replanning job derived from a finished job.
+func (c *Client) Replan(ctx context.Context, id string, req ReplanRequest) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/replan", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every retained job.
+func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	var out []*JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the server's queue and warm-cache statistics.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	var st ServerStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

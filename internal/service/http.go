@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"heterog/internal/cli"
+)
+
+// The HTTP/JSON surface of the planning service:
+//
+//	POST   /v1/jobs             submit a cli.Spec          → 202 JobStatus
+//	GET    /v1/jobs             list retained jobs         → 200 []JobStatus
+//	GET    /v1/jobs/{id}        status (?wait=30s long-polls until terminal)
+//	DELETE /v1/jobs/{id}        cancel                     → 200 JobStatus
+//	GET    /v1/jobs/{id}/report plan report                → 200 PlanReport
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON    → 200 stream
+//	POST   /v1/jobs/{id}/replan ReplanRequest              → 202 JobStatus
+//	GET    /v1/stats            server + warm-cache stats  → 200 ServerStats
+//	GET    /healthz             liveness                   → 200
+//
+// Error mapping: 400 malformed spec, 404 unknown job, 409 artifact not ready,
+// 429 + Retry-After queue full, 503 draining.
+
+// httpError is the wire form of every non-2xx response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// maxSpecBytes bounds a submitted job payload (serialized graphs included).
+const maxSpecBytes = 16 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs/{id}/replan", s.handleReplan)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps the service's typed errors onto HTTP statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNotDone):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec cli.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("bad wait duration %q: %w", waitStr, err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		st, err := s.Wait(ctx, id)
+		// A fired long-poll deadline is not an error: report where the job
+		// stands so the client can poll again.
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	runner, err := s.runnerOf(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", r.PathValue("id")+"-trace.json"))
+	if err := runner.WriteTrace(w); err != nil {
+		// Headers are gone; the truncated body is the best signal left.
+		return
+	}
+}
+
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var req ReplanRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("decode replan request: %w", err))
+		return
+	}
+	st, err := s.Replan(r.PathValue("id"), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

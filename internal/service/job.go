@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"heterog"
+	"heterog/internal/cli"
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/evalcache"
+	"heterog/internal/graph"
+)
+
+// JobState is the lifecycle of a planning job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is planning.
+	JobRunning JobState = "running"
+	// JobDone: planning finished; the report is available.
+	JobDone JobState = "done"
+	// JobFailed: planning errored (including timeout and worker panic).
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client before completion.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// job is the server-side record of one accepted planning job. Mutable fields
+// are guarded by the server's mutex; done is closed exactly once when the job
+// reaches a terminal state.
+type job struct {
+	id       string
+	spec     cli.Spec
+	replanOf string // source job ID for replan jobs ("" for plain plans)
+
+	// Resolved at admission so a malformed spec is rejected before queueing.
+	graph   *graph.Graph
+	cluster *cluster.Cluster
+	warmKey evalcache.Key
+
+	state     JobState
+	err       string
+	runner    *heterog.Runner
+	report    *PlanReport
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// WarmStats reports the warm-cache set a job planned through.
+type WarmStats struct {
+	// Eval and Lowered snapshot the shared evaluation and lowered-artifact
+	// caches (cumulative across every job that shared the set).
+	Eval    heterog.CacheStats `json:"eval"`
+	Lowered heterog.CacheStats `json:"lowered"`
+	// SharedJobs counts jobs (including this one) that planned through the
+	// same warm set since the server created it.
+	SharedJobs int `json:"shared_jobs"`
+}
+
+// JobStatus is the wire representation of a job's lifecycle.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Model    string   `json:"model"`
+	Batch    int      `json:"batch"`
+	Cluster  string   `json:"cluster"`
+	Devices  int      `json:"devices"`
+	ReplanOf string   `json:"replan_of,omitempty"`
+	Error    string   `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// PlanSec is the wall-clock planning time (running → terminal).
+	PlanSec float64 `json:"plan_sec,omitempty"`
+	// Warm snapshots the shared warm-cache set once the job has run.
+	Warm *WarmStats `json:"warm,omitempty"`
+}
+
+// PlanReport is the wire representation of a finished plan: the numbers a
+// Runner exposes in-process, plus the chosen strategy itself and the warm
+// state the job planned through.
+type PlanReport struct {
+	Model   string `json:"model"`
+	Batch   int    `json:"batch"`
+	Cluster string `json:"cluster"`
+	Devices int    `json:"devices"`
+
+	PerIterationSec float64 `json:"per_iteration_sec"`
+	ComputeSec      float64 `json:"compute_sec"`
+	CommSec         float64 `json:"comm_sec"`
+	PeakMemBytes    []int64 `json:"peak_mem_bytes"`
+
+	// Strategy is the chosen deployment plan in the strategy JSON format
+	// (decisions per op group, execution order choice).
+	Strategy json.RawMessage `json:"strategy,omitempty"`
+	// Robust is the fault-scenario profile: present when the job requested
+	// robust planning (optimized) or fault scoring (report-only).
+	Robust *heterog.RobustReport `json:"robust,omitempty"`
+	// Pipeline is the planning-pipeline instrumentation for this job's
+	// evaluator family (per-pass timings, recompiles avoided).
+	Pipeline *core.PipelineReport `json:"pipeline,omitempty"`
+
+	PlanSec float64    `json:"plan_sec"`
+	Warm    *WarmStats `json:"warm,omitempty"`
+}
+
+// ReplanRequest asks the server to replan a finished job on a changed
+// (typically degraded) cluster, reusing the warm agent where the device
+// count allows. Exactly one of the fields must be set.
+type ReplanRequest struct {
+	// DropDevice removes one device (by ID) from the source job's cluster —
+	// the "a GPU just died" fast path.
+	DropDevice *int `json:"drop_device,omitempty"`
+	// Cluster replans onto an explicitly described cluster.
+	Cluster *cli.ClusterSpec `json:"cluster,omitempty"`
+	// GPUs replans onto a canned testbed (4, 8 or 12).
+	GPUs int `json:"gpus,omitempty"`
+}
+
+// ServerStats is the wire representation of /v1/stats.
+type ServerStats struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Done       int `json:"done"`
+	Failed     int `json:"failed"`
+	Canceled   int `json:"canceled"`
+
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+
+	WarmSets []WarmSetStats `json:"warm_sets"`
+}
+
+// WarmSetStats describes one warm-cache set in /v1/stats.
+type WarmSetStats struct {
+	// Workload is a short hex prefix of the workload fingerprint.
+	Workload string             `json:"workload"`
+	Jobs     int                `json:"jobs"`
+	Eval     heterog.CacheStats `json:"eval"`
+	Lowered  heterog.CacheStats `json:"lowered"`
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"heterog/internal/cli"
+)
+
+// LoadConfig drives RunLoad, the bench-serve load generator.
+type LoadConfig struct {
+	// Specs is the workload mix; jobs round-robin over it.
+	Specs []cli.Spec
+	// Concurrencies are the client fan-outs to measure, one result row each.
+	Concurrencies []int
+	// JobsPerLevel is how many jobs each concurrency level submits.
+	JobsPerLevel int
+	// PollWait is the long-poll window per status request (default 30s).
+	PollWait time.Duration
+}
+
+// LoadResult is one concurrency level's measurement: throughput, latency
+// percentiles of the submit→terminal round trip, and the warm-cache hit
+// rates accumulated during the level (deltas, not lifetime totals).
+type LoadResult struct {
+	Concurrency int     `json:"concurrency"`
+	Jobs        int     `json:"jobs"`
+	Failed      int     `json:"failed"`
+	Retries429  int     `json:"retries_429"`
+	WallSec     float64 `json:"wall_sec"`
+	Throughput  float64 `json:"throughput_jobs_per_sec"`
+	P50Sec      float64 `json:"p50_sec"`
+	P99Sec      float64 `json:"p99_sec"`
+	// EvalHitRate and LoweredHitRate are hits/(hits+misses) across all warm
+	// sets during this level.
+	EvalHitRate    float64 `json:"eval_hit_rate"`
+	LoweredHitRate float64 `json:"lowered_hit_rate"`
+}
+
+// cacheTotals sums hit/miss counters across every warm set.
+type cacheTotals struct {
+	evalHits, evalMisses, lowHits, lowMisses uint64
+}
+
+func totals(st *ServerStats) cacheTotals {
+	var t cacheTotals
+	for _, ws := range st.WarmSets {
+		t.evalHits += ws.Eval.Hits
+		t.evalMisses += ws.Eval.Misses
+		t.lowHits += ws.Lowered.Hits
+		t.lowMisses += ws.Lowered.Misses
+	}
+	return t
+}
+
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// percentile returns the q-quantile of xs (nearest-rank on a sorted copy).
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RunLoad drives the server through the client at each configured
+// concurrency level and reports throughput, latency and cache hit rates.
+// Queue-full rejections are retried after the server's Retry-After hint, so
+// every job eventually lands (backpressure, not loss).
+func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) ([]LoadResult, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("service: load config needs at least one spec")
+	}
+	if cfg.JobsPerLevel <= 0 {
+		cfg.JobsPerLevel = 8
+	}
+	if len(cfg.Concurrencies) == 0 {
+		cfg.Concurrencies = []int{1, 2, 4, 8}
+	}
+	var results []LoadResult
+	for _, conc := range cfg.Concurrencies {
+		before, err := c.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res := LoadResult{Concurrency: conc, Jobs: cfg.JobsPerLevel}
+		latencies := make([]float64, cfg.JobsPerLevel)
+		failed := make([]bool, cfg.JobsPerLevel)
+		var retries429 int64
+		var mu sync.Mutex
+
+		start := time.Now()
+		sem := make(chan struct{}, conc)
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.JobsPerLevel; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				spec := cfg.Specs[i%len(cfg.Specs)]
+				t0 := time.Now()
+				var st *JobStatus
+				for {
+					var err error
+					st, err = c.Submit(ctx, spec)
+					if err == nil {
+						break
+					}
+					var apiErr *APIError
+					if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+						mu.Lock()
+						retries429++
+						mu.Unlock()
+						backoff := apiErr.RetryAfter
+						if backoff <= 0 {
+							backoff = 100 * time.Millisecond
+						}
+						select {
+						case <-time.After(backoff):
+							continue
+						case <-ctx.Done():
+							failed[i] = true
+							return
+						}
+					}
+					failed[i] = true
+					return
+				}
+				final, err := c.Wait(ctx, st.ID, cfg.PollWait)
+				if err != nil || final.State != JobDone {
+					failed[i] = true
+					return
+				}
+				latencies[i] = time.Since(t0).Seconds()
+			}(i)
+		}
+		wg.Wait()
+		res.WallSec = time.Since(start).Seconds()
+		res.Retries429 = int(retries429)
+
+		var ok []float64
+		for i, l := range latencies {
+			if failed[i] {
+				res.Failed++
+				continue
+			}
+			ok = append(ok, l)
+		}
+		if res.WallSec > 0 {
+			res.Throughput = float64(len(ok)) / res.WallSec
+		}
+		res.P50Sec = percentile(ok, 0.50)
+		res.P99Sec = percentile(ok, 0.99)
+
+		after, err := c.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		tb, ta := totals(before), totals(after)
+		res.EvalHitRate = hitRate(ta.evalHits-tb.evalHits, ta.evalMisses-tb.evalMisses)
+		res.LoweredHitRate = hitRate(ta.lowHits-tb.lowHits, ta.lowMisses-tb.lowMisses)
+		results = append(results, res)
+	}
+	return results, nil
+}

@@ -1,0 +1,715 @@
+// Package service is the concurrent planning daemon behind cmd/heterog-serve:
+// HeteroG as middleware, online. Clients submit a planning job — a zoo model
+// or serialized graph, a cluster description, and the same search knobs the
+// public Options expose — and poll (or long-poll) for the resulting plan
+// report, robustness report, pipeline instrumentation and Chrome trace.
+//
+// Inside: a bounded job queue feeding a worker pool sized to GOMAXPROCS,
+// admission control with backpressure (queue-full submissions are rejected
+// immediately, surfaced over HTTP as 429 + Retry-After), per-job timeouts and
+// client cancellation via context, panic isolation per worker, and graceful
+// shutdown that drains every accepted job. The performance heart is a
+// process-wide registry of warm cache sets keyed by workload fingerprint
+// (evalcache.WorkloadFingerprint + the fault configuration): concurrent and
+// repeated jobs for the same model/cluster share one evaluation cache and one
+// lowered-artifact cache, so the second submission of a workload plans
+// against warm state instead of recompiling.
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"heterog"
+	"heterog/internal/cli"
+	"heterog/internal/cluster"
+	"heterog/internal/evalcache"
+	"heterog/internal/graph"
+)
+
+// Typed admission errors, surfaced by Submit and mapped to HTTP statuses.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining: the server is shutting down and accepts no new jobs
+	// (HTTP 503).
+	ErrDraining = errors.New("service: server draining")
+	// ErrNotFound: no such job (HTTP 404).
+	ErrNotFound = errors.New("service: job not found")
+	// ErrNotDone: the job has not finished successfully, so the requested
+	// artifact does not exist (HTTP 409).
+	ErrNotDone = errors.New("service: job not done")
+)
+
+// Config sizes the server. The zero value selects every default.
+type Config struct {
+	// Workers is the planning worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (default
+	// 2*Workers). A full queue rejects submissions with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout caps one job's planning time (default 10m; <0 disables).
+	JobTimeout time.Duration
+	// RetryAfter is the backpressure hint returned with queue-full
+	// rejections (default 2s).
+	RetryAfter time.Duration
+	// EvalCacheEntries and LoweredCacheEntries size each warm set's two
+	// caches (default evalcache.DefaultCapacity each).
+	EvalCacheEntries, LoweredCacheEntries int
+	// MaxWarmSets bounds how many distinct workloads keep warm caches
+	// resident; the least recently used set is dropped beyond it
+	// (default 16).
+	MaxWarmSets int
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// forgotten beyond it (default 1024).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.MaxWarmSets <= 0 {
+		c.MaxWarmSets = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// warmSet is one workload's shared caches plus registry bookkeeping.
+type warmSet struct {
+	key     evalcache.Key
+	caches  *heterog.CacheSet
+	jobs    int
+	lastUse time.Time
+}
+
+// Server runs the planning service. Construct with New, serve its Handler
+// (or call Submit and friends in-process), and stop with Drain or Close.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for retention eviction
+	warm     map[evalcache.Key]*warmSet
+	nextID   uint64
+	accepted uint64
+	rejected uint64
+	draining bool
+
+	workers   sync.WaitGroup
+	closeOnce sync.Once
+	// now and runHook are test seams: now stamps job transitions, runHook
+	// replaces the real planning work.
+	now     func() time.Time
+	runHook func(ctx context.Context, j *job) error
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+		warm:  make(map[evalcache.Key]*warmSet),
+		now:   time.Now,
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// warmKey derives the warm-cache registry key: the workload fingerprint of
+// (graph, cluster, seed), folded with the fault configuration. Fault
+// scenarios are keyed inside the caches only by their index, so two jobs may
+// share warm state only when their scenario sets are identical — same count,
+// same seed.
+func warmKey(spec *cli.Spec, g *graph.Graph, c *cluster.Cluster) evalcache.Key {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	wf := evalcache.WorkloadFingerprint(g, c, seed)
+	if spec.FaultK == 0 {
+		return wf
+	}
+	var buf [sha256.Size + 16]byte
+	copy(buf[:], wf[:])
+	binary.LittleEndian.PutUint64(buf[sha256.Size:], uint64(spec.FaultK))
+	binary.LittleEndian.PutUint64(buf[sha256.Size+8:], uint64(spec.FaultSeed))
+	return sha256.Sum256(buf[:])
+}
+
+// warmSetFor returns (creating if needed) the warm set for a key, updating
+// recency and evicting the least recently used set beyond MaxWarmSets.
+// Callers hold s.mu.
+func (s *Server) warmSetFor(key evalcache.Key) *warmSet {
+	ws := s.warm[key]
+	if ws == nil {
+		ws = &warmSet{
+			key:    key,
+			caches: heterog.NewCacheSet(s.cfg.EvalCacheEntries, s.cfg.LoweredCacheEntries),
+		}
+		s.warm[key] = ws
+		for len(s.warm) > s.cfg.MaxWarmSets {
+			var oldest *warmSet
+			for _, cand := range s.warm {
+				if cand == ws {
+					continue
+				}
+				if oldest == nil || cand.lastUse.Before(oldest.lastUse) {
+					oldest = cand
+				}
+			}
+			if oldest == nil {
+				break
+			}
+			delete(s.warm, oldest.key)
+		}
+	}
+	ws.jobs++
+	ws.lastUse = s.now()
+	return ws
+}
+
+// Submit validates and admits a planning job, returning its status snapshot.
+// Admission is non-blocking: a full queue returns ErrQueueFull immediately
+// (backpressure), a draining server ErrDraining.
+func (s *Server) Submit(spec cli.Spec) (*JobStatus, error) {
+	g, c, err := resolveSpec(&spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.admit(&job{spec: spec, graph: g, cluster: c, warmKey: warmKey(&spec, g, c)})
+}
+
+// resolveSpec validates the spec and builds its graph and cluster.
+func resolveSpec(spec *cli.Spec) (*graph.Graph, *cluster.Cluster, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g, err := spec.BuildGraph()
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := spec.BuildCluster()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, c, nil
+}
+
+// admit assigns an ID, enqueues the job and records it.
+func (s *Server) admit(j *job) (*JobStatus, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	j.state = JobQueued
+	j.submitted = s.now()
+	j.done = make(chan struct{})
+	select {
+	case s.queue <- j:
+	default:
+		s.rejected++
+		s.nextID-- // never observed, reuse the ID
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.accepted++
+	s.evictJobsLocked()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+// evictJobsLocked forgets the oldest terminal jobs beyond MaxJobs.
+func (s *Server) evictJobsLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && j.state.Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Replan admits a job that replans a finished job onto a changed cluster,
+// reusing the source runner's warm agent when device counts match.
+func (s *Server) Replan(sourceID string, req ReplanRequest) (*JobStatus, error) {
+	s.mu.Lock()
+	src := s.jobs[sourceID]
+	s.mu.Unlock()
+	if src == nil {
+		return nil, ErrNotFound
+	}
+	if src.state != JobDone || src.runner == nil {
+		return nil, fmt.Errorf("%w: replan needs a done source job, %s is %s", ErrNotDone, sourceID, src.state)
+	}
+	nc, err := replanCluster(src, req)
+	if err != nil {
+		return nil, err
+	}
+	spec := src.spec
+	spec.Cluster = nil
+	spec.GPUs = 0
+	j := &job{spec: spec, replanOf: sourceID, graph: src.runner.Graph, cluster: nc,
+		warmKey: warmKey(&spec, src.runner.Graph, nc)}
+	j.spec.Cluster = describeCluster(nc)
+	return s.admit(j)
+}
+
+// replanCluster builds the degraded cluster a replan request describes.
+func replanCluster(src *job, req ReplanRequest) (*cluster.Cluster, error) {
+	set := 0
+	if req.DropDevice != nil {
+		set++
+	}
+	if req.Cluster != nil {
+		set++
+	}
+	if req.GPUs != 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("service: replan request must set exactly one of drop_device, cluster, gpus")
+	}
+	switch {
+	case req.DropDevice != nil:
+		return src.cluster.WithoutDevice(*req.DropDevice)
+	case req.Cluster != nil:
+		return req.Cluster.Build()
+	default:
+		spec := cli.Spec{GPUs: req.GPUs}
+		return spec.BuildCluster()
+	}
+}
+
+// describeCluster records a degraded cluster back into spec form (server by
+// server) so job listings stay self-describing. Device drops can produce
+// servers mixing GPU counts; the description is per-server, so that is fine.
+func describeCluster(c *cluster.Cluster) *cli.ClusterSpec {
+	cs := &cli.ClusterSpec{Name: c.Name}
+	for _, srv := range c.Servers {
+		ss := cli.ServerSpec{
+			GPUs:     len(srv.Devices),
+			NICGbps:  srv.NICBandwidth * 8 / 1e9,
+			PCIeGbps: srv.PCIeBandwidth * 8 / 1e9,
+		}
+		if len(srv.Devices) > 0 {
+			switch c.Devices[srv.Devices[0]].Model.Name {
+			case cluster.TeslaV100.Name:
+				ss.GPU = "v100"
+			case cluster.GTX1080Ti.Name:
+				ss.GPU = "1080ti"
+			case cluster.TeslaP100.Name:
+				ss.GPU = "p100"
+			}
+		}
+		cs.Servers = append(cs.Servers, ss)
+	}
+	return cs
+}
+
+// worker pops jobs until the queue closes (Drain).
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job with timeout, cancellation and panic isolation.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	if j.state != JobQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = JobRunning
+	j.started = s.now()
+	j.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	err := func() (err error) {
+		// Panic isolation: a crashing job fails alone; the worker survives.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack())
+			}
+		}()
+		if s.runHook != nil {
+			return s.runHook(ctx, j)
+		}
+		return s.plan(ctx, j)
+	}()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = s.now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errors.Is(err, context.Canceled):
+		j.state = JobCanceled
+		j.err = "canceled by client"
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = JobFailed
+		j.err = fmt.Sprintf("timed out after %s", s.cfg.JobTimeout)
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+	}
+	close(j.done)
+}
+
+// planOptions maps the spec's knobs onto the public Options.
+func planOptions(spec *cli.Spec) []heterog.Option {
+	var opts []heterog.Option
+	if spec.Episodes > 0 {
+		opts = append(opts, heterog.WithEpisodes(spec.Episodes))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, heterog.WithSeed(spec.Seed))
+	}
+	if spec.DefaultOrder {
+		opts = append(opts, heterog.WithDefaultOrder())
+	}
+	if spec.BatchEpisodes > 0 {
+		opts = append(opts, heterog.WithBatchEpisodes(spec.BatchEpisodes))
+	}
+	if spec.Robust && spec.FaultK > 0 {
+		opts = append(opts, heterog.WithRobustness(spec.FaultK, spec.Blend))
+		if spec.FaultSeed != 0 {
+			opts = append(opts, heterog.WithFaultSeed(spec.FaultSeed))
+		}
+	}
+	return opts
+}
+
+// plan is the real planning work of one job: plan (or replan) through the
+// workload's shared warm caches, score faults post-hoc when asked, and
+// assemble the wire report.
+func (s *Server) plan(ctx context.Context, j *job) error {
+	s.mu.Lock()
+	ws := s.warmSetFor(j.warmKey)
+	s.mu.Unlock()
+
+	opts := append(planOptions(&j.spec), heterog.WithContext(ctx), heterog.WithCaches(ws.caches))
+	var runner *heterog.Runner
+	var err error
+	if j.replanOf != "" {
+		s.mu.Lock()
+		src := s.jobs[j.replanOf]
+		s.mu.Unlock()
+		if src == nil || src.runner == nil {
+			return fmt.Errorf("service: replan source %s no longer available", j.replanOf)
+		}
+		runner, err = src.runner.ReplanWithOptions(j.cluster, opts...)
+	} else {
+		model := func() (*graph.Graph, error) { return j.graph, nil }
+		input := func() (int, error) { return j.graph.BatchSize, nil }
+		runner, err = heterog.GetRunner(model, input, j.cluster, opts...)
+	}
+	if err != nil {
+		return err
+	}
+
+	var robust *heterog.RobustReport
+	if j.spec.Robust {
+		robust = runner.RobustReport()
+	} else if j.spec.FaultK > 0 {
+		if robust, err = runner.ScoreFaults(j.spec.FaultK, j.spec.FaultSeed, j.spec.Blend); err != nil {
+			return err
+		}
+	}
+
+	var stratJSON bytes.Buffer
+	if err := runner.Strategy.Save(&stratJSON); err != nil {
+		return fmt.Errorf("service: serialize strategy: %w", err)
+	}
+	pipe := runner.PipelineReport()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.runner = runner
+	planSec := s.now().Sub(j.started).Seconds()
+	j.report = &PlanReport{
+		Model:           j.graph.Name,
+		Batch:           j.graph.BatchSize,
+		Cluster:         j.cluster.Name,
+		Devices:         j.cluster.NumDevices(),
+		PerIterationSec: runner.Plan.PerIter,
+		ComputeSec:      runner.Plan.ComputeTime,
+		CommSec:         runner.Plan.CommTime,
+		PeakMemBytes:    append([]int64(nil), runner.Plan.Result.PeakMem...),
+		Strategy:        bytes.TrimSpace(stratJSON.Bytes()),
+		Robust:          robust,
+		Pipeline:        &pipe,
+		PlanSec:         planSec,
+		Warm:            s.warmStatsLocked(j.warmKey),
+	}
+	return nil
+}
+
+// warmStatsLocked snapshots a warm set's counters ("" when it was evicted).
+func (s *Server) warmStatsLocked(key evalcache.Key) *WarmStats {
+	ws := s.warm[key]
+	if ws == nil {
+		return nil
+	}
+	eval, lowered := ws.caches.Stats()
+	return &WarmStats{Eval: eval, Lowered: lowered, SharedJobs: ws.jobs}
+}
+
+// statusLocked renders a job's wire status. Callers hold s.mu.
+func (s *Server) statusLocked(j *job) *JobStatus {
+	st := &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Model:       j.graph.Name,
+		Batch:       j.graph.BatchSize,
+		Cluster:     j.cluster.Name,
+		Devices:     j.cluster.NumDevices(),
+		ReplanOf:    j.replanOf,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+		st.Warm = s.warmStatsLocked(j.warmKey)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+		st.PlanSec = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// Status returns a job's current status snapshot.
+func (s *Server) Status(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs lists every retained job in submission order.
+func (s *Server) Jobs() []*JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			out = append(out, s.statusLocked(j))
+		}
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or the context fires,
+// returning the status either way (with the context's error in the latter
+// case). This backs the HTTP long-poll.
+func (s *Server) Wait(ctx context.Context, id string) (*JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		st, err := s.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		return st, ctx.Err()
+	}
+}
+
+// Report returns a finished job's plan report.
+func (s *Server) Report(id string) (*PlanReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	if j.state != JobDone || j.report == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.state)
+	}
+	return j.report, nil
+}
+
+// runnerOf returns a finished job's runner (for trace rendering).
+func (s *Server) runnerOf(id string) (*heterog.Runner, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	if j.state != JobDone || j.runner == nil {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.state)
+	}
+	return j.runner, nil
+}
+
+// Cancel cancels a queued or running job. Terminal jobs are left untouched
+// (their status is returned; cancellation is idempotent).
+func (s *Server) Cancel(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	switch j.state {
+	case JobQueued:
+		// The worker that eventually pops this job sees the terminal state
+		// and skips it.
+		j.state = JobCanceled
+		j.err = "canceled by client"
+		j.finished = s.now()
+		j.started = j.finished
+		close(j.done)
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	return st, nil
+}
+
+// Stats snapshots the server's queue, job and warm-cache counters.
+func (s *Server) Stats() *ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &ServerStats{
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Accepted:   s.accepted,
+		Rejected:   s.rejected,
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCanceled:
+			st.Canceled++
+		}
+	}
+	for _, ws := range s.warm {
+		eval, lowered := ws.caches.Stats()
+		st.WarmSets = append(st.WarmSets, WarmSetStats{
+			Workload: fmt.Sprintf("%x", ws.key[:6]),
+			Jobs:     ws.jobs,
+			Eval:     eval,
+			Lowered:  lowered,
+		})
+	}
+	return st
+}
+
+// Drain gracefully shuts the server down: new submissions are rejected with
+// ErrDraining, every already-accepted job (queued or running) is allowed to
+// finish, and the worker pool exits. If ctx fires first, Drain returns its
+// error with jobs potentially still in flight (call Close for a hard stop).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.closeOnce.Do(func() { close(s.queue) })
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server: drains like Drain but first cancels every
+// running job, so shutdown completes within roughly one episode batch.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.state == JobRunning && j.cancel != nil {
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
