@@ -39,7 +39,7 @@ race:
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json.
 bench:
-	$(GO) test -run '^$$' -bench 'EvaluateCold|EvaluateCached|RunEpisodes|SimReuse|SimPooledRun' -benchtime 2s -benchmem .
+	$(GO) test -run '^$$' -bench 'EvaluateCold|EvaluateCached|EvaluateBounded|RunEpisodes|SimReuse|SimPooledRun' -benchtime 2s -benchmem .
 
 # bench-robust regenerates the fault/replanning exhibit recorded in
 # BENCH_robust.json (nominal/p95/worst-case per workload + replan gains).

@@ -385,6 +385,120 @@ func BenchmarkRunEpisodesParallel(b *testing.B) {
 	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "episodes/s")
 }
 
+// --- Fleet-scale cold-path benchmarks (the cold_path_64dev section of
+// BENCH_eval.json; DESIGN.md §10 documents the pruning layers). ---
+
+func benchEvaluator64(b *testing.B) *core.Evaluator {
+	b.Helper()
+	g, err := models.VGG19(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := core.NewEvaluator(g, cluster.Testbed64(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkEvaluateCold64 measures one exact cold evaluation on the
+// 64-device testbed — the per-candidate price the planner paid for every
+// sampled strategy before bound-based pruning.
+func BenchmarkEvaluateCold64(b *testing.B) {
+	ev := benchEvaluator64(b)
+	ev.Cache = nil
+	s := benchStrategy(b, ev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateBounded64Pruned measures the certified-loser path: an
+// all-MP candidate screened out by the analytic pre-lowering bound against a
+// data-parallel incumbent — no compilation, no simulation.
+func BenchmarkEvaluateBounded64Pruned(b *testing.B) {
+	ev := benchEvaluator64(b)
+	ev.Cache = nil
+	ev.EnablePruning(nil)
+	dp := benchStrategy(b, ev)
+	inc, err := ev.Evaluate(dp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := inc.Score()
+	mp := strategy.Uniform(dp.Grouping, strategy.Decision{Kind: strategy.MP, Device: 0})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := ev.EvaluateBounded(mp, bound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !e.Pruned {
+			b.Fatal("expected the all-MP candidate to be pruned")
+		}
+	}
+}
+
+// BenchmarkRunEpisodes64 is the PR-1-style batched episode loop on the
+// 64-device testbed with pruning off: 8 strategies decoded from one forward
+// pass, every one fully compiled and simulated. This is the baseline the
+// cold_path_64dev throughput claim is measured against.
+func BenchmarkRunEpisodes64(b *testing.B) {
+	ev := benchEvaluator64(b)
+	ev.Cache = nil // isolate rollout mechanics from memoization wins
+	a, err := agent.New(agent.DefaultConfig(64), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.RunEpisodes(ev, 8, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "episodes/s")
+}
+
+// BenchmarkRunEpisodes64Pruned is the same episode loop with the full
+// cold-path attack armed: analytic bound screening and early-abort
+// simulation against a data-parallel incumbent, plus successive-halving
+// batches (1-iteration fast pass, top half promoted).
+func BenchmarkRunEpisodes64Pruned(b *testing.B) {
+	ev := benchEvaluator64(b)
+	ev.Cache = nil // isolate pruning wins from memoization wins
+	ev.EnablePruning(nil)
+	acfg := agent.DefaultConfig(64)
+	acfg.Halving = true
+	a, err := agent.New(acfg, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc, err := ev.Evaluate(benchStrategy(b, ev))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := inc.Score()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.RunEpisodesBounded(ev, 8, false, bound); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(8*b.N)/b.Elapsed().Seconds(), "episodes/s")
+	rep := ev.PipelineReport()
+	b.ReportMetric(float64(rep.Pruning.PrunedPreLower), "pruned-pre")
+	b.ReportMetric(float64(rep.Pruning.SimsAborted), "sims-aborted")
+	b.ReportMetric(float64(rep.Pruning.CandidatesHalved), "halved")
+}
+
 // BenchmarkSimReuse measures a reused Simulator on a precompiled graph —
 // the zero-alloc steady state (compare the seed sim.Run baseline recorded in
 // BENCH_eval.json: 7188 allocs/op).

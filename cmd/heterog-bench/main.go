@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,7 +45,35 @@ func main() {
 	unseen := flag.String("unseen", "", "comma-separated held-out models for table6")
 	spec.RegisterFaultFlags(flag.CommandLine, 4)
 	out := flag.String("out", "", "write the robust exhibit's rows as JSON to this path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the exhibit run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}()
 
 	lab := experiments.NewLab(experiments.Config{Episodes: spec.Episodes, Seed: spec.Seed})
 	run := func(name string) error {

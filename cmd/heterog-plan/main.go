@@ -90,6 +90,12 @@ func main() {
 	if spec.BatchEpisodes > 0 {
 		acfg.BatchEpisodes = spec.BatchEpisodes
 	}
+	if !spec.Exact {
+		// Cold-path pruning + successive halving, winner-preserving; after
+		// EnableRobustness so scenario twins inherit the bound screens.
+		ev.EnablePruning(nil)
+		acfg.Halving = true
+	}
 	ag, err := agent.New(acfg, c.NumDevices())
 	if err != nil {
 		log.Fatal(err)
@@ -131,6 +137,11 @@ func main() {
 		cs := ev.Cache.Stats()
 		fmt.Printf("eval cache: %d hits / %d misses / %d evictions (%d entries)\n",
 			cs.Hits, cs.Misses, cs.Evictions, cs.Len)
+	}
+	if *verbose && !spec.Exact {
+		pr := ev.PipelineReport().Pruning
+		fmt.Printf("pruning: %d bounds tried / %d pre-lowering / %d post-lowering / %d sims aborted / %d halved (saved ~%s)\n",
+			pr.BoundsTried, pr.PrunedPreLower, pr.PrunedPostLower, pr.SimsAborted, pr.CandidatesHalved, pr.TimeSaved.Round(time.Millisecond))
 	}
 	for _, kind := range []strategy.DecisionKind{strategy.DPEvenPS, strategy.DPEvenAR, strategy.DPPropPS, strategy.DPPropAR} {
 		e, err := baselines.EvaluateDP(ev, kind)

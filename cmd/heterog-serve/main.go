@@ -23,6 +23,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -44,6 +45,7 @@ func main() {
 	evalCap := flag.Int("eval-cache-cap", 0, "evaluation-cache entries per workload warm set (0 = default)")
 	loweredCap := flag.Int("lowered-cache-cap", 0, "lowered-artifact cache entries per workload warm set (0 = default)")
 	warmSets := flag.Int("warm-sets", 0, "max distinct workloads with resident warm caches (0 = default)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	loadgen := flag.Bool("loadgen", false, "run the load-generator exhibit against an in-process server and exit")
 	out := flag.String("out", "BENCH_serve.json", "loadgen: output path")
 	jobs := flag.Int("jobs", 8, "loadgen: jobs per concurrency level")
@@ -57,6 +59,18 @@ func main() {
 		EvalCacheEntries:    *evalCap,
 		LoweredCacheEntries: *loweredCap,
 		MaxWarmSets:         *warmSets,
+	}
+
+	if *pprofAddr != "" {
+		// The pprof handlers register on http.DefaultServeMux at import;
+		// serving them on a separate listener keeps profiling off the
+		// public planning address.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	if *loadgen {

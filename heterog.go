@@ -86,10 +86,13 @@ type settings struct {
 	// (0 = package defaults).
 	caches              *CacheSet
 	evalCap, loweredCap int
+	// pruning/halving gate the cold-path accelerations (both default on;
+	// WithPruning(false)/WithHalving(false) restore exhaustive evaluation).
+	pruning, halving bool
 }
 
 func defaultSettings() settings {
-	return settings{episodes: 6, seed: 1, faultSeed: 1}
+	return settings{episodes: 6, seed: 1, faultSeed: 1, pruning: true, halving: true}
 }
 
 // Option configures GetRunner. The legacy *Config also satisfies Option.
@@ -170,6 +173,28 @@ func WithCaches(cs *CacheSet) Option {
 // capacities.
 func WithCacheCapacities(evalEntries, loweredEntries int) Option {
 	return optionFunc(func(s *settings) { s.evalCap, s.loweredCap = evalEntries, loweredEntries })
+}
+
+// WithPruning toggles bound-based candidate pruning during strategy search
+// (default on): candidates whose analytic lower bound already loses to the
+// incumbent are skipped before compilation, and simulations abort as soon as
+// their event clock certifies a loss. Pruning is winner-preserving — the
+// bounds are sound and comparisons strict, so the selected plan (and every
+// number reported for it) is identical to an exhaustive search; only the
+// side evaluations of discarded candidates are skipped. Pass false for
+// exhibits that need exact timings for every candidate, not just the winner.
+func WithPruning(on bool) Option {
+	return optionFunc(func(s *settings) { s.pruning = on })
+}
+
+// WithHalving toggles successive-halving episode batches (default on): each
+// rollout batch is first ranked by a cheap 1-iteration fast pass and only
+// the top half is promoted to the full steady-state evaluation. The winner
+// still always gets a full evaluation; pass false to fully evaluate every
+// sampled candidate (exact per-episode numbers at higher cost). Ignored when
+// WithAgent supplies a caller-configured agent.
+func WithHalving(on bool) Option {
+	return optionFunc(func(s *settings) { s.halving = on })
 }
 
 // Config is the legacy heterog_config object.
@@ -300,10 +325,15 @@ func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
 			return nil, fmt.Errorf("heterog: %w", err)
 		}
 	}
+	if cfg.pruning {
+		// After EnableRobustness so the scenario twins inherit the config.
+		ev.EnablePruning(nil)
+	}
 	ag := cfg.agent
 	if ag == nil {
 		acfg := agent.DefaultConfig(devices.NumDevices())
 		acfg.Seed = cfg.seed
+		acfg.Halving = cfg.halving
 		if cfg.batchEpisodes > 0 {
 			acfg.BatchEpisodes = cfg.batchEpisodes
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"heterog/internal/core"
@@ -39,6 +41,16 @@ type Config struct {
 	Policy policy.Config
 	// Seed drives sampling and initialization.
 	Seed int64
+	// Halving enables successive-halving episode batches: each batch's
+	// candidates are first scored by a cheap 1-iteration fast pass, and only
+	// the top HalveFraction are promoted to the full steady-state
+	// evaluation. Demoted candidates keep their fast-pass reward for the
+	// policy-gradient update but never enter the planner's best-so-far
+	// comparison. Off by default; the public planning API turns it on.
+	Halving bool
+	// HalveFraction is the promoted share of each halved batch, in (0, 1];
+	// 0 selects the default of 0.5 (at least one candidate always promotes).
+	HalveFraction float64
 }
 
 // DefaultConfig returns a CPU-friendly agent for m devices.
@@ -112,6 +124,11 @@ type Episode struct {
 	Reward   float64
 	// Greedy marks argmax decoding instead of sampling.
 	Greedy bool
+	// FastPass marks a candidate demoted by successive halving: Eval is the
+	// cheap 1-iteration ranking evaluation (its PerIter is a single
+	// iteration's makespan, not a steady-state period) and must not be
+	// compared against full evaluations.
+	FastPass bool
 }
 
 // graphState caches per-evaluator encodings across episodes.
@@ -279,6 +296,29 @@ func (a *Agent) RunEpisode(ev *core.Evaluator, learn, greedy bool) (*Episode, er
 // maxParallelEvals bounds the rollout-evaluation worker pool.
 func maxParallelEvals() int { return runtime.GOMAXPROCS(0) }
 
+// incumbent is the planner's racing best-score bound: a mutex-guarded
+// monotone minimum shared by the concurrent evaluation goroutines.
+type incumbent struct {
+	mu    sync.Mutex
+	score float64
+}
+
+func newIncumbent() *incumbent { return &incumbent{score: math.Inf(1)} }
+
+func (in *incumbent) get() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.score
+}
+
+func (in *incumbent) offer(score float64) {
+	in.mu.Lock()
+	if score < in.score {
+		in.score = score
+	}
+	in.mu.Unlock()
+}
+
 // RunEpisodes is the batched rollout path: it decodes k strategies from one
 // forward pass, evaluates them concurrently over a bounded worker pool (the
 // evaluator's cache deduplicates resampled strategies), and, when learn is
@@ -291,6 +331,61 @@ func maxParallelEvals() int { return runtime.GOMAXPROCS(0) }
 // k=1 and learn in either state it is step-for-step identical to the
 // sequential episode path.
 func (a *Agent) RunEpisodes(ev *core.Evaluator, k int, learn bool) ([]*Episode, error) {
+	return a.RunEpisodesBounded(ev, k, learn, math.Inf(1))
+}
+
+// evalParallel runs f(0..k-1) over the bounded worker pool, collecting
+// evaluations by index (deterministic regardless of interleaving).
+func evalParallel(k int, f func(i int) (*core.Evaluation, error)) ([]*core.Evaluation, error) {
+	evals := make([]*core.Evaluation, k)
+	errs := make([]error, k)
+	sem := make(chan struct{}, maxParallelEvals())
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			evals[i], errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return evals, nil
+}
+
+// halveKeep returns how many of k candidates a halved batch promotes.
+func (a *Agent) halveKeep(k int) int {
+	frac := a.cfg.HalveFraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.5
+	}
+	keep := int(math.Ceil(float64(k) * frac))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > k {
+		keep = k
+	}
+	return keep
+}
+
+// RunEpisodesBounded is RunEpisodes threading an incumbent score bound into
+// every evaluation (see core.Evaluator.EvaluateBounded); +Inf degrades to
+// the exact path. With Config.Halving set and k > 1, the batch first runs a
+// 1-iteration fast pass over all k candidates, promotes only the top
+// halveKeep(k) (stable rank by fast score, then decode order) to the full
+// steady-state evaluation, and returns the demoted candidates as FastPass
+// episodes carrying their fast evaluation and reward. Decoding draws from
+// the agent's RNG sequentially and the bound is fixed for the whole batch,
+// so results are deterministic for a given seed and bound regardless of
+// evaluation interleaving.
+func (a *Agent) RunEpisodesBounded(ev *core.Evaluator, k int, learn bool, bound float64) ([]*Episode, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("agent: batch size must be positive, got %d", k)
 	}
@@ -311,28 +406,54 @@ func (a *Agent) RunEpisodes(ev *core.Evaluator, k int, learn bool) ([]*Episode, 
 			return nil, err
 		}
 	}
-	evals := make([]*core.Evaluation, k)
-	errs := make([]error, k)
-	sem := make(chan struct{}, maxParallelEvals())
-	var wg sync.WaitGroup
-	for i := range strats {
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			evals[i], errs[i] = ev.Evaluate(strats[i])
-		}(i)
-	}
-	wg.Wait()
 	eps := make([]*Episode, k)
+	full := make([]bool, k)
+	for i := range full {
+		full[i] = true
+	}
+	if a.cfg.Halving && k > 1 {
+		fast, err := evalParallel(k, func(i int) (*core.Evaluation, error) {
+			return ev.EvaluateFast(strats[i], bound)
+		})
+		if err != nil {
+			return nil, err
+		}
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(x, y int) bool {
+			return fast[order[x]].Score() < fast[order[y]].Score()
+		})
+		keep := a.halveKeep(k)
+		for i := range full {
+			full[i] = false
+		}
+		for _, i := range order[:keep] {
+			full[i] = true
+		}
+		for i := range strats {
+			if !full[i] {
+				eps[i] = &Episode{Strategy: strats[i], Eval: fast[i], Reward: core.Reward(fast[i]), FastPass: true}
+			}
+		}
+		ev.NoteHalved(k - keep)
+	}
+	evals, err := evalParallel(k, func(i int) (*core.Evaluation, error) {
+		if !full[i] {
+			return nil, nil
+		}
+		return ev.EvaluateBounded(strats[i], bound)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rewards := make([]float64, k)
 	for i := range eps {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if full[i] {
+			eps[i] = &Episode{Strategy: strats[i], Eval: evals[i], Reward: core.Reward(evals[i])}
 		}
-		rewards[i] = core.Reward(evals[i])
-		eps[i] = &Episode{Strategy: strats[i], Eval: evals[i], Reward: rewards[i]}
+		rewards[i] = eps[i].Reward
 	}
 	if !learn {
 		return eps, nil
@@ -405,12 +526,19 @@ func (a *Agent) PlanContext(ctx context.Context, ev *core.Evaluator, episodes in
 		return nil, err
 	}
 	var best *core.Evaluation
+	// inc is the racing incumbent score bound threaded into every bounded
+	// evaluation. Bounds are sound lower-bound screens and comparisons are
+	// strict, so the selected winner is independent of the (scheduling-
+	// dependent) order in which candidates tighten the bound — only the
+	// amount of work skipped varies.
+	inc := newIncumbent()
 	// Score is the nominal per-iteration time, or the blended
 	// nominal/worst-case objective when the evaluator is in robustness mode.
 	consider := func(e *core.Evaluation) {
-		if e == nil {
+		if e == nil || e.Pruned {
 			return
 		}
+		inc.offer(e.Score())
 		if best == nil || e.Score() < best.Score() {
 			best = e
 		}
@@ -433,25 +561,34 @@ func (a *Agent) PlanContext(ctx context.Context, ev *core.Evaluator, episodes in
 		go func(i int, cand *strategy.Strategy) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			e, err := ev.Evaluate(cand)
+			e, err := ev.EvaluateBounded(cand, inc.get())
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			evals[i] = e
+			if !e.Pruned {
+				inc.offer(e.Score())
+			}
 			// HeteroG's order scheduling increases overlap — and with it
 			// the transient memory peak. A candidate can be feasible under
 			// the default FIFO order even when the ranked order overflows,
 			// so the uniform-DP candidates (and any ranked-OOM candidate)
 			// are also tried under FIFO; the order choice ships in
-			// heterog_config.
-			if i < 4 || e.Result.OOM() {
-				ef, err := fifoEv.Evaluate(cand)
+			// heterog_config. A pruned ranked evaluation reveals neither
+			// feasibility nor time, so it conservatively keeps the FIFO
+			// twin in play (the work-based bounds are order-independent
+			// and usually discharge it immediately).
+			if i < 4 || e.Pruned || e.Result.OOM() {
+				ef, err := fifoEv.EvaluateBounded(cand, inc.get())
 				if err != nil {
 					errs[i] = err
 					return
 				}
 				fifoEvals[i] = ef
+				if !ef.Pruned {
+					inc.offer(ef.Score())
+				}
 			}
 		}(i, cand)
 	}
@@ -468,11 +605,18 @@ func (a *Agent) PlanContext(ctx context.Context, ev *core.Evaluator, episodes in
 			return nil, err
 		}
 		k := min(a.batchSize(), episodes-done)
-		eps, err := a.RunEpisodes(ev, k, true)
+		// The bound snapshot is taken at the batch boundary: every rollout in
+		// the batch sees the same incumbent, so the policy-gradient update —
+		// and with it the whole learning trajectory — stays deterministic for
+		// a given seed.
+		eps, err := a.RunEpisodesBounded(ev, k, true, inc.get())
 		if err != nil {
 			return nil, err
 		}
 		for _, ep := range eps {
+			if ep.FastPass {
+				continue
+			}
 			consider(ep.Eval)
 		}
 		done += k

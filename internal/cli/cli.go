@@ -89,7 +89,7 @@ type Spec struct {
 	// Batch is the global batch size (required for zoo models; overrides the
 	// serialized graph's reference batch when positive).
 	Batch int `json:"batch,omitempty"`
-	// GPUs selects a canned testbed (4, 8 or 12 GPUs); Cluster instead
+	// GPUs selects a canned testbed (4, 8, 12 or 64 GPUs); Cluster instead
 	// describes a custom cluster and takes precedence.
 	GPUs    int          `json:"gpus,omitempty"`
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
@@ -105,6 +105,10 @@ type Spec struct {
 	FaultSeed int64   `json:"fault_seed,omitempty"`
 	Robust    bool    `json:"robust,omitempty"`
 	Blend     float64 `json:"blend,omitempty"`
+	// Exact disables bound-based pruning and successive halving, restoring
+	// the exhaustive cold path (exact timings for every candidate, not just
+	// the winner).
+	Exact bool `json:"exact,omitempty"`
 }
 
 // RegisterModelFlags binds -model and -batch.
@@ -115,7 +119,7 @@ func (s *Spec) RegisterModelFlags(fs *flag.FlagSet, defModel string, defBatch in
 
 // RegisterClusterFlags binds -gpus.
 func (s *Spec) RegisterClusterFlags(fs *flag.FlagSet, defGPUs int) {
-	fs.IntVar(&s.GPUs, "gpus", defGPUs, "testbed size: 4, 8 or 12 GPUs")
+	fs.IntVar(&s.GPUs, "gpus", defGPUs, "testbed size: 4, 8, 12 or 64 GPUs")
 }
 
 // RegisterSearchFlags binds -seed, -episodes and -batch-episodes.
@@ -123,6 +127,7 @@ func (s *Spec) RegisterSearchFlags(fs *flag.FlagSet, defEpisodes int) {
 	fs.Int64Var(&s.Seed, "seed", 1, "profiling and agent seed")
 	fs.IntVar(&s.Episodes, "episodes", defEpisodes, "RL episodes for strategy search")
 	fs.IntVar(&s.BatchEpisodes, "batch-episodes", 0, "rollout batch size per policy update (0 = default)")
+	fs.BoolVar(&s.Exact, "exact", false, "disable bound-based pruning and successive halving (exhaustive cold path)")
 }
 
 // RegisterFaultFlags binds -faults, -fault-seed, -robust and -blend.
@@ -145,9 +150,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Cluster == nil {
 		switch s.GPUs {
-		case 4, 8, 12:
+		case 4, 8, 12, 64:
 		default:
-			return fmt.Errorf("cli: unsupported gpus %d (want 4, 8 or 12, or a custom cluster spec)", s.GPUs)
+			return fmt.Errorf("cli: unsupported gpus %d (want 4, 8, 12 or 64, or a custom cluster spec)", s.GPUs)
 		}
 	}
 	if s.Episodes < 0 {
@@ -178,8 +183,10 @@ func (s *Spec) BuildCluster() (*cluster.Cluster, error) {
 		return cluster.Testbed8(), nil
 	case 12:
 		return cluster.Testbed12(), nil
+	case 64:
+		return cluster.Testbed64(), nil
 	default:
-		return nil, fmt.Errorf("cli: unsupported gpus %d (want 4, 8 or 12)", s.GPUs)
+		return nil, fmt.Errorf("cli: unsupported gpus %d (want 4, 8, 12 or 64)", s.GPUs)
 	}
 }
 

@@ -341,6 +341,26 @@ func Testbed4() *Cluster {
 	)
 }
 
+// Testbed64 builds a fleet-scale 64-GPU, 16-server heterogeneous cluster —
+// the paper's testbed mix extrapolated to the scale its deployment section
+// targets: four 4x V100 servers on 100GbE, eight 4x GTX 1080Ti servers and
+// four 4x Tesla P100 servers on 50GbE. It is the cold-path pruning exhibit:
+// at M=64 the action space is M+4 wide and per-candidate simulation cost
+// grows with device count, so bound-based pruning matters most here.
+func Testbed64() *Cluster {
+	cfgs := make([]Config, 0, 16)
+	for i := 0; i < 4; i++ {
+		cfgs = append(cfgs, Config{GPUs: 4, Model: TeslaV100, NICBandwidth: Gbps(100), PCIeBandwidth: Gbps(120)})
+	}
+	for i := 0; i < 8; i++ {
+		cfgs = append(cfgs, Config{GPUs: 4, Model: GTX1080Ti, NICBandwidth: Gbps(50), PCIeBandwidth: Gbps(100)})
+	}
+	for i := 0; i < 4; i++ {
+		cfgs = append(cfgs, Config{GPUs: 4, Model: TeslaP100, NICBandwidth: Gbps(50), PCIeBandwidth: Gbps(100)})
+	}
+	return New("testbed-64gpu", cfgs...)
+}
+
 // Homogeneous builds a single-server homogeneous cluster, used by motivation
 // examples and tests.
 func Homogeneous(n int, model GPUModel) *Cluster {

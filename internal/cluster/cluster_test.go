@@ -13,6 +13,7 @@ func TestTestbedShapes(t *testing.T) {
 		devices int
 		servers int
 	}{
+		{Testbed64(), 64, 16},
 		{Testbed12(), 12, 5},
 		{Testbed8(), 8, 4},
 		{Testbed4(), 4, 2},
@@ -41,6 +42,27 @@ func TestTestbed8DeviceLayout(t *testing.T) {
 	for i, name := range want {
 		if c.Devices[i].Model.Name != name {
 			t.Errorf("G%d is %s, want %s", i, c.Devices[i].Model.Name, name)
+		}
+	}
+}
+
+func TestTestbed64Mix(t *testing.T) {
+	// The fleet-scale exhibit keeps Testbed8's 1:2:1 V100/1080Ti/P100 mix at
+	// 16 servers of 4 GPUs each.
+	c := Testbed64()
+	counts := map[string]int{}
+	for _, d := range c.Devices {
+		counts[d.Model.Name]++
+	}
+	want := map[string]int{TeslaV100.Name: 16, GTX1080Ti.Name: 32, TeslaP100.Name: 16}
+	for model, n := range want {
+		if counts[model] != n {
+			t.Errorf("%s: %d devices, want %d", model, counts[model], n)
+		}
+	}
+	for _, srv := range c.Servers {
+		if len(srv.Devices) != 4 {
+			t.Errorf("server %d has %d GPUs, want 4", srv.ID, len(srv.Devices))
 		}
 	}
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/graph"
+	"heterog/internal/plan"
+	"heterog/internal/strategy"
+)
+
+// PruneConfig tunes the cold-path pruning layers enabled by EnablePruning.
+// The zero value selects every default; pass nil to EnablePruning for the
+// same effect.
+type PruneConfig struct {
+	// SimSlack scales the early-abort makespan bound handed to the
+	// simulator: a candidate's simulation is aborted once the event clock
+	// exceeds SimSlack × iterations × the incumbent-implied per-iteration
+	// bound. The slack covers the pipeline fill/drain share of a chained
+	// multi-iteration makespan, which the steady-state per-iteration
+	// estimate excludes; values below 1 risk aborting candidates that would
+	// have beaten the incumbent. <= 0 selects DefaultSimSlack.
+	SimSlack float64
+	// FastSlack additionally loosens the bound used for 1-iteration fast
+	// passes (successive halving), whose single-iteration makespan includes
+	// a full fill+drain and so overshoots the steady-state period even for
+	// good candidates. <= 0 selects DefaultFastSlack.
+	FastSlack float64
+}
+
+const (
+	// DefaultSimSlack bounds a candidate's full simulated makespan at
+	// 1.5 × iterations × the incumbent's per-iteration time.
+	DefaultSimSlack = 1.5
+	// DefaultFastSlack lets a 1-iteration fast pass run to 3 × the
+	// incumbent's per-iteration time before aborting.
+	DefaultFastSlack = 3.0
+)
+
+func (c *PruneConfig) simSlack() float64 {
+	if c == nil || c.SimSlack <= 0 {
+		return DefaultSimSlack
+	}
+	return c.SimSlack
+}
+
+// FastSlackOr returns the configured fast-pass slack, defaulted. Exported
+// for the agent's successive-halving pass, which converts incumbent scores
+// into fast-pass bounds itself.
+func (c *PruneConfig) FastSlackOr() float64 {
+	if c == nil || c.FastSlack <= 0 {
+		return DefaultFastSlack
+	}
+	return c.FastSlack
+}
+
+// EnablePruning turns on bound-based candidate pruning for subsequent
+// EvaluateBounded calls: analytic lower-bound screening before and after
+// lowering, plus early-abort simulation against the incumbent-derived bound.
+// cfg may be nil for defaults. Plain Evaluate calls are unaffected (they
+// carry no bound), as are exhibits that never pass one. When the evaluator
+// is already in robustness mode the scenario twins inherit the
+// configuration; calling EnablePruning before EnableRobustness works too.
+// Like EnableRobustness, it must be called before the evaluator is shared
+// across goroutines.
+func (ev *Evaluator) EnablePruning(cfg *PruneConfig) {
+	if cfg == nil {
+		cfg = &PruneConfig{}
+	}
+	ev.Prune = cfg
+	ev.bounds = newBoundState()
+	if ev.Robust != nil {
+		for _, sev := range ev.Robust.evs {
+			sev.Prune = cfg
+			sev.bounds = newBoundState()
+		}
+	}
+}
+
+// boundState caches per-decision replica layouts for the analytic
+// pre-lowering bound. Decisions recur constantly across sampled candidates
+// (the action space is only M+4 wide), so each layout is computed once per
+// evaluator. Scenario twins keep their own state: fault perturbations can
+// change the cluster's proportional replica shares.
+type boundState struct {
+	mu    sync.Mutex
+	fracs map[strategy.Decision][]float64
+}
+
+func newBoundState() *boundState {
+	return &boundState{fracs: make(map[strategy.Decision][]float64)}
+}
+
+func (b *boundState) layout(d strategy.Decision, c *cluster.Cluster) []float64 {
+	b.mu.Lock()
+	fr, ok := b.fracs[d]
+	if !ok {
+		fr = plan.LayoutFor(d, c).Fracs
+		b.fracs[d] = fr
+	}
+	b.mu.Unlock()
+	return fr
+}
+
+// preLowerBound is a lower bound on the per-iteration time of strategy s
+// computed from per-op costs and decision kinds alone — no DistGraph, no
+// lowering. Every compute op contributes exactly the instance times the
+// edge-lowering pass would charge (same layout fractions, same cost model),
+// summed per device; the busiest device's total is a floor on the
+// steady-state period, because each iteration re-executes all of that
+// device's instances and a single GPU serializes them. ApplyGradient ops are
+// skipped (parameter-server aggregation relocates them off the replica
+// layout), as are communication and compiler-synthesized glue ops — the
+// bound only undercounts, never overcounts.
+func (ev *Evaluator) preLowerBound(s *strategy.Strategy) float64 {
+	work := make([]float64, ev.Cluster.NumDevices())
+	for _, op := range ev.Graph.Ops {
+		if op.Kind == graph.KindApplyGradient || op.Kind.IsComm() {
+			continue
+		}
+		fr := ev.bounds.layout(compiler.EffectiveDecision(s, op), ev.Cluster)
+		for dev, f := range fr {
+			if f > 0 {
+				work[dev] += ev.Cost.OpTime(op, dev, f)
+			}
+		}
+	}
+	var b float64
+	for _, w := range work {
+		if w > b {
+			b = w
+		}
+	}
+	return b
+}
+
+// DistLowerBound is the post-lowering per-iteration lower bound: the busiest
+// unit's total work divided by the number of chained iterations. In any
+// schedule each unit serializes its own instances, so per-iteration time is
+// at least the per-iteration work of the busiest unit. The critical path is
+// deliberately NOT divided by iterations here — consecutive iterations
+// overlap in the pipeline, so CriticalPath()/iters is not a sound
+// per-iteration bound; the critical path instead bounds the whole makespan
+// and is checked against the simulator's abort bound (see evaluateBounded).
+func DistLowerBound(dg *compiler.DistGraph) float64 {
+	iters := dg.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	var maxw float64
+	for _, w := range dg.TotalWorkOn() {
+		if w > maxw {
+			maxw = w
+		}
+	}
+	return maxw / float64(iters)
+}
+
+// PreLowerBound exposes the analytic pre-lowering bound for tests and
+// diagnostics. It returns 0 (no information) when pruning is not enabled.
+func (ev *Evaluator) PreLowerBound(s *strategy.Strategy) float64 {
+	if ev.bounds == nil {
+		return 0
+	}
+	return ev.preLowerBound(s)
+}
+
+// NoteHalved records candidates demoted by the agent's successive-halving
+// pass in this evaluator family's pruning counters.
+func (ev *Evaluator) NoteHalved(n int) { ev.pipe.halved(n) }
+
+// prunedEval builds the certified-loser placeholder evaluation: no DistGraph
+// and no sim Result were produced. PerIter carries the bound the candidate
+// provably cannot beat, so Reward still yields a usable (optimistic) learning
+// signal; Score and Time are +Inf so comparisons can never pick it.
+func (ev *Evaluator) prunedEval(s *strategy.Strategy, timeBound, at float64) *Evaluation {
+	return &Evaluation{Strategy: s, Pruned: true, PerIter: timeBound, PrunedAt: at}
+}
+
+// EvaluateFast scores s on a throwaway 1-iteration twin of ev — the
+// successive-halving fast pass. Robustness is dropped (the fast pass only
+// ranks candidates within a batch, and its score space is the nominal
+// 1-iteration makespan), the shared caches still apply (the iteration count
+// is part of every key), and the bound — given in the parent evaluator's
+// score space — is converted to nominal time and loosened by FastSlack,
+// since a single iteration's makespan is all pipeline fill and drain.
+func (ev *Evaluator) EvaluateFast(s *strategy.Strategy, bound float64) (*Evaluation, error) {
+	fe := *ev
+	fe.Iterations = 1
+	fe.Robust = nil
+	tb := math.Inf(1)
+	if fe.Prune != nil && validBound(bound) {
+		tb = scoreToTime(bound, ev.Robust != nil)
+	}
+	return fe.evaluateBounded(s, tb, true)
+}
+
+// scoreToTime converts a "lower is better" incumbent score into a nominal
+// per-iteration time bound: without robustness the score IS the time; in
+// robustness mode Score ≥ √T_nominal, so T_nominal ≥ score² is impossible
+// for any candidate beating the score.
+func scoreToTime(score float64, robust bool) float64 {
+	if !robust {
+		return score
+	}
+	return score * score
+}
+
+func validBound(b float64) bool { return b > 0 && !math.IsInf(b, 1) }

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"heterog/internal/cluster"
 	"heterog/internal/compiler"
@@ -37,12 +39,20 @@ type Evaluation struct {
 	// robustness mode (nil otherwise). Cache-stored evaluations never carry
 	// a report; it is attached to the per-call header copy.
 	Robust *RobustReport
+	// Pruned marks a certified loser from EvaluateBounded: a lower bound on
+	// its score already exceeded the caller's incumbent bound, so Dist and
+	// Result are nil and PerIter holds the bound it provably cannot beat.
+	// Pruned evaluations are never cached and never win comparisons.
+	Pruned bool
+	// PrunedAt echoes the incumbent bound (in score space) the candidate
+	// was pruned against; 0 when Pruned is false.
+	PrunedAt float64
 }
 
-// Time returns the per-iteration time, or +Inf on OOM so that comparisons
-// naturally prefer feasible strategies.
+// Time returns the per-iteration time, or +Inf on OOM (or for a pruned
+// certified loser) so that comparisons naturally prefer feasible strategies.
 func (e *Evaluation) Time() float64 {
-	if e.Result.OOM() {
+	if e.Pruned || e.Result.OOM() {
 		return math.Inf(1)
 	}
 	return e.PerIter
@@ -126,6 +136,13 @@ type Evaluator struct {
 	// additionally scores the strategy across the configured fault scenarios
 	// and attaches a RobustReport, and Reward blends nominal with worst-case.
 	Robust *Robustness
+	// Prune, when non-nil, arms bound-based candidate pruning for
+	// EvaluateBounded calls (see EnablePruning). Plain Evaluate calls are
+	// never pruned.
+	Prune *PruneConfig
+	// bounds caches per-decision layouts for the analytic pre-lowering
+	// bound; set by EnablePruning, per twin.
+	bounds *boundState
 }
 
 // NewEvaluator profiles the graph on the cluster and returns an evaluator
@@ -151,14 +168,54 @@ func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, e
 // the returned header additionally carries a freshly aggregated RobustReport
 // (the per-scenario simulations behind it are themselves cached).
 func (ev *Evaluator) Evaluate(s *strategy.Strategy) (*Evaluation, error) {
-	e, err := ev.evaluate(s)
-	if err != nil || ev.Robust == nil {
-		return e, err
-	}
-	return ev.Robust.attach(ev, s, e)
+	return ev.EvaluateBounded(s, math.Inf(1))
 }
 
-func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
+// EvaluateBounded is Evaluate with an incumbent bound: bound is the best
+// ("lower is better") Score seen so far, and any candidate provably unable
+// to beat it is discarded early — by the analytic pre-lowering bound before
+// any compilation, by the busiest-unit bound after lowering, or by aborting
+// the simulation once its clock certifies a loss. Pruned candidates come
+// back with Pruned set (Score +Inf) and are never cached, so a later
+// unbounded Evaluate of the same strategy still produces exact numbers.
+// A +Inf or non-positive bound, or an evaluator without EnablePruning,
+// degrades to exact Evaluate behavior. In robustness mode the scenario twins
+// inherit the nominal incumbent bound scaled into their own time domain; a
+// candidate pruned under any scenario is pruned as a whole.
+func (ev *Evaluator) EvaluateBounded(s *strategy.Strategy, bound float64) (*Evaluation, error) {
+	if ev.Robust == nil {
+		return ev.evaluateBounded(s, bound, false)
+	}
+	tb := math.Inf(1)
+	if ev.Prune != nil && validBound(bound) {
+		tb = scoreToTime(bound, true)
+	}
+	e, err := ev.evaluateBounded(s, tb, false)
+	if err != nil || e.Pruned {
+		if e != nil && e.Pruned {
+			e.PrunedAt = bound
+		}
+		return e, err
+	}
+	rep, pruned, err := ev.Robust.reportBounded(ev.UseFIFO, s, e, bound)
+	if err != nil {
+		return nil, fmt.Errorf("robustness %s: %w", ev.Graph.Name, err)
+	}
+	if pruned {
+		// A scenario certified the blended score can't beat the bound.
+		// PerIter = bound² keeps Reward consistent: -√PerIter = -bound,
+		// the reward a candidate exactly at the bound would earn.
+		return ev.prunedEval(s, scoreToTime(bound, true), bound), nil
+	}
+	out := *e
+	out.Robust = rep
+	return &out, nil
+}
+
+// evaluateBounded runs the compile → order → simulate pipeline against a
+// per-iteration time bound (+Inf disables pruning). fast marks a
+// 1-iteration fast pass, which gets the looser FastSlack abort bound.
+func (ev *Evaluator) evaluateBounded(s *strategy.Strategy, timeBound float64, fast bool) (*Evaluation, error) {
 	iters := ev.Iterations
 	if iters <= 0 {
 		iters = 3
@@ -172,9 +229,37 @@ func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 			return &e, nil
 		}
 	}
+	prune := ev.Prune != nil && validBound(timeBound)
+	var began time.Time
+	if ev.Prune != nil {
+		began = time.Now()
+	}
+	if prune {
+		ev.pipe.boundTried()
+		if pb := ev.preLowerBound(s); pb > timeBound {
+			ev.pipe.prunedPre(time.Since(began))
+			return ev.prunedEval(s, timeBound, timeBound), nil
+		}
+	}
 	art, err := ev.lowered(s, iters)
 	if err != nil {
 		return nil, fmt.Errorf("compile %s: %w", ev.Graph.Name, err)
+	}
+	// The simulator abort bound caps the full chained makespan: per-iteration
+	// bound × iterations, with slack for the pipeline fill/drain share that
+	// the steady-state estimate excludes (fast passes get extra slack, their
+	// single iteration being all fill and drain).
+	simBound := math.Inf(1)
+	if prune {
+		slack := ev.Prune.simSlack()
+		if fast {
+			slack *= ev.Prune.FastSlackOr()
+		}
+		simBound = timeBound * float64(iters) * slack
+		if db := DistLowerBound(art.Dist); db > timeBound || art.Dist.CriticalPath() > simBound {
+			ev.pipe.prunedPost(time.Since(began))
+			return ev.prunedEval(s, timeBound, timeBound), nil
+		}
 	}
 	// Ordering is the only pass that depends on the execution-order choice:
 	// it re-runs on a lightweight per-order view of the (possibly cached,
@@ -185,8 +270,12 @@ func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 	}
 	ev.pipe.absorb(oa.Metrics)
 	dg, pr := oa.Dist, oa.Priorities
-	res, err := sim.Run(dg, pr)
+	res, err := sim.RunBounded(dg, pr, simBound)
 	if err != nil {
+		if errors.Is(err, sim.ErrBoundExceeded) {
+			ev.pipe.simAborted(time.Since(began))
+			return ev.prunedEval(s, timeBound, timeBound), nil
+		}
 		return nil, fmt.Errorf("simulate %s: %w", ev.Graph.Name, err)
 	}
 	e := &Evaluation{
@@ -196,6 +285,9 @@ func (ev *Evaluator) evaluate(s *strategy.Strategy) (*Evaluation, error) {
 		PerIter:     perIteration(dg, res),
 		ComputeTime: res.ComputeTime / float64(iters),
 		CommTime:    res.CommTime / float64(iters),
+	}
+	if ev.Prune != nil {
+		ev.pipe.fullEval(time.Since(began))
 	}
 	if ev.Cache != nil {
 		ev.Cache.Put(key, e)
@@ -267,6 +359,13 @@ func rawReward(perIter float64, oom bool) float64 {
 //
 //	R = (1-b)·R_nominal + b·min(R_nominal, R_scenario...)
 func Reward(e *Evaluation) float64 {
+	if e.Pruned {
+		// A certified loser carries the bound it cannot beat in PerIter: its
+		// true reward is at most the reward of a candidate exactly at the
+		// bound, so this optimistic stand-in still ranks it behind the
+		// incumbent while keeping the policy gradient finite.
+		return rawReward(e.PerIter, false)
+	}
 	r := rawReward(e.PerIter, e.Result.OOM())
 	if e.Robust == nil {
 		return r
@@ -285,6 +384,9 @@ func Reward(e *Evaluation) float64 {
 // robustness mode, the negated blended reward — monotone in Reward, so the
 // planner picks exactly what the RL objective prefers.
 func (e *Evaluation) Score() float64 {
+	if e.Pruned {
+		return math.Inf(1)
+	}
 	if e.Result.OOM() {
 		return math.Inf(1)
 	}

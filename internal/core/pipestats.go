@@ -29,6 +29,43 @@ type PipelineReport struct {
 	// Reused counts evaluations that skipped lowering by reusing a cached
 	// artifact — recompiles avoided; only the Ordering pass re-ran.
 	Reused int64 `json:"reused"`
+	// Pruning aggregates the bound-based cold-path pruning counters (zero
+	// unless EnablePruning armed the evaluator family).
+	Pruning PruneReport `json:"pruning"`
+}
+
+// PruneReport counts the work the bound-based pruning layers discarded
+// across one evaluator family (nominal, FIFO and scenario twins).
+type PruneReport struct {
+	// BoundsTried counts bounded evaluations that reached the screening
+	// layers (cache misses with a finite incumbent bound).
+	BoundsTried int64 `json:"bounds_tried"`
+	// PrunedPreLower counts candidates discarded by the analytic per-op
+	// bound before any compilation happened.
+	PrunedPreLower int64 `json:"pruned_pre_lower"`
+	// PrunedPostLower counts candidates discarded after lowering by the
+	// busiest-unit or critical-path bound, before ordering and simulation.
+	PrunedPostLower int64 `json:"pruned_post_lower"`
+	// SimsAborted counts simulations stopped mid-run by the makespan bound.
+	SimsAborted int64 `json:"sims_aborted"`
+	// CandidatesHalved counts episode candidates demoted by the agent's
+	// successive-halving fast pass (never fully evaluated).
+	CandidatesHalved int64 `json:"candidates_halved"`
+	// TimeSaved estimates wall-clock evaluation time avoided: for each
+	// pruned candidate, the running mean duration of a full cold evaluation
+	// minus what the pruned attempt actually spent.
+	TimeSaved time.Duration `json:"time_saved_ns"`
+}
+
+// Add folds another report's counters into p (used by the serving layer to
+// aggregate across jobs).
+func (p *PruneReport) Add(o PruneReport) {
+	p.BoundsTried += o.BoundsTried
+	p.PrunedPreLower += o.PrunedPreLower
+	p.PrunedPostLower += o.PrunedPostLower
+	p.SimsAborted += o.SimsAborted
+	p.CandidatesHalved += o.CandidatesHalved
+	p.TimeSaved += o.TimeSaved
 }
 
 // pipeStats is the shared, concurrency-safe recorder behind an evaluator's
@@ -40,6 +77,11 @@ type pipeStats struct {
 	passes    map[string]*PassStat
 	lowerings int64
 	reused    int64
+	prune     PruneReport
+	// fullCount/fullDur track completed cold evaluations under pruning so
+	// TimeSaved can price each prune at the mean full-evaluation cost.
+	fullCount int64
+	fullDur   time.Duration
 }
 
 func newPipeStats() *pipeStats { return &pipeStats{passes: make(map[string]*PassStat)} }
@@ -82,6 +124,75 @@ func (p *pipeStats) reuse() {
 	p.mu.Unlock()
 }
 
+func (p *pipeStats) boundTried() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.prune.BoundsTried++
+	p.mu.Unlock()
+}
+
+// saved credits one prune with the mean full-evaluation duration minus the
+// time the pruned attempt itself burned. Callers hold p.mu.
+func (p *pipeStats) saved(spent time.Duration) {
+	if p.fullCount == 0 {
+		return
+	}
+	if gain := p.fullDur/time.Duration(p.fullCount) - spent; gain > 0 {
+		p.prune.TimeSaved += gain
+	}
+}
+
+func (p *pipeStats) prunedPre(spent time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.prune.PrunedPreLower++
+	p.saved(spent)
+	p.mu.Unlock()
+}
+
+func (p *pipeStats) prunedPost(spent time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.prune.PrunedPostLower++
+	p.saved(spent)
+	p.mu.Unlock()
+}
+
+func (p *pipeStats) simAborted(spent time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.prune.SimsAborted++
+	p.saved(spent)
+	p.mu.Unlock()
+}
+
+func (p *pipeStats) halved(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.prune.CandidatesHalved += int64(n)
+	p.mu.Unlock()
+}
+
+func (p *pipeStats) fullEval(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.fullCount++
+	p.fullDur += d
+	p.mu.Unlock()
+}
+
 // snapshot renders the totals in canonical pipeline order.
 func (p *pipeStats) snapshot() PipelineReport {
 	if p == nil {
@@ -89,7 +200,7 @@ func (p *pipeStats) snapshot() PipelineReport {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	rep := PipelineReport{Lowerings: p.lowerings, Reused: p.reused}
+	rep := PipelineReport{Lowerings: p.lowerings, Reused: p.reused, Pruning: p.prune}
 	seen := make(map[string]bool)
 	for _, name := range plan.PassOrder() {
 		if st, ok := p.passes[name]; ok {

@@ -90,24 +90,16 @@ func (ev *Evaluator) EnableRobustness(scs []*faults.Scenario, blend float64) err
 			ScenarioTag: uint64(k + 1),
 			Seed:        ev.Seed,
 			pipe:        ev.pipe,
+			Prune:       ev.Prune,
+		}
+		if ev.Prune != nil {
+			// Perturbed clusters can shift proportional replica shares, so
+			// each twin keeps its own layout cache for the analytic bound.
+			r.evs[k].bounds = newBoundState()
 		}
 	}
 	ev.Robust = r
 	return nil
-}
-
-// attach scores s across every scenario (bounded parallel, per-scenario
-// results cached) and returns a copy of the nominal evaluation header
-// carrying the aggregated report. The caller's UseFIFO choice propagates to
-// the scenario twins so both orders stay comparable.
-func (r *Robustness) attach(ev *Evaluator, s *strategy.Strategy, nominal *Evaluation) (*Evaluation, error) {
-	rep, err := r.report(ev.UseFIFO, s, nominal)
-	if err != nil {
-		return nil, fmt.Errorf("robustness %s: %w", ev.Graph.Name, err)
-	}
-	e := *nominal
-	e.Robust = rep
-	return &e, nil
 }
 
 // quantile returns the q-quantile of xs (sorted copy, linear interpolation).
@@ -127,8 +119,14 @@ func quantile(xs []float64, q float64) float64 {
 // maxParallelScenarios bounds the per-call scenario evaluation fan-out.
 func maxParallelScenarios() int { return runtime.GOMAXPROCS(0) }
 
-// report evaluates s under every scenario and aggregates the RobustReport.
-func (r *Robustness) report(useFIFO bool, s *strategy.Strategy, nominal *Evaluation) (*RobustReport, error) {
+// reportBounded evaluates s under every scenario (bounded parallel,
+// per-scenario results cached) and aggregates the RobustReport. scoreBound
+// is the incumbent's blended score (+Inf for exact evaluation): the robust
+// score satisfies Score ≥ Blend·√T_k for every scenario k, so each twin's
+// per-iteration time bound is (scoreBound/Blend)² — a candidate pruned under
+// any scenario provably cannot beat the incumbent, and reportBounded returns
+// pruned=true with a nil report.
+func (r *Robustness) reportBounded(useFIFO bool, s *strategy.Strategy, nominal *Evaluation, scoreBound float64) (*RobustReport, bool, error) {
 	rep := &RobustReport{
 		Blend:         r.Blend,
 		Times:         make([]float64, len(r.evs)),
@@ -138,6 +136,7 @@ func (r *Robustness) report(useFIFO bool, s *strategy.Strategy, nominal *Evaluat
 		WorstScenario: "nominal",
 	}
 	errs := make([]error, len(r.evs))
+	pruned := make([]bool, len(r.evs))
 	sem := make(chan struct{}, maxParallelScenarios())
 	var wg sync.WaitGroup
 	for k := range r.evs {
@@ -151,9 +150,18 @@ func (r *Robustness) report(useFIFO bool, s *strategy.Strategy, nominal *Evaluat
 			// in both the order flag and the scenario tag.
 			sev := *r.evs[k]
 			sev.UseFIFO = useFIFO
-			e, err := sev.Evaluate(s)
+			tb := math.Inf(1)
+			if sev.Prune != nil && validBound(scoreBound) {
+				b := scoreBound / r.Blend
+				tb = b * b
+			}
+			e, err := sev.evaluateBounded(s, tb, false)
 			if err != nil {
 				errs[k] = err
+				return
+			}
+			if e.Pruned {
+				pruned[k] = true
 				return
 			}
 			rep.Times[k] = e.PerIter
@@ -163,7 +171,12 @@ func (r *Robustness) report(useFIFO bool, s *strategy.Strategy, nominal *Evaluat
 	wg.Wait()
 	for k, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("scenario %s: %w", r.Scenarios[k].Name, err)
+			return nil, false, fmt.Errorf("scenario %s: %w", r.Scenarios[k].Name, err)
+		}
+	}
+	for _, p := range pruned {
+		if p {
+			return nil, true, nil
 		}
 	}
 	all := make([]float64, 0, len(rep.Times)+1)
@@ -179,5 +192,5 @@ func (r *Robustness) report(useFIFO bool, s *strategy.Strategy, nominal *Evaluat
 		}
 	}
 	rep.P95 = quantile(all, 0.95)
-	return rep, nil
+	return rep, false, nil
 }

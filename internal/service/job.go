@@ -126,7 +126,7 @@ type ReplanRequest struct {
 	DropDevice *int `json:"drop_device,omitempty"`
 	// Cluster replans onto an explicitly described cluster.
 	Cluster *cli.ClusterSpec `json:"cluster,omitempty"`
-	// GPUs replans onto a canned testbed (4, 8 or 12).
+	// GPUs replans onto a canned testbed (4, 8, 12 or 64).
 	GPUs int `json:"gpus,omitempty"`
 }
 
@@ -142,6 +142,10 @@ type ServerStats struct {
 
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`
+
+	// Pruning aggregates the cold-path pruning counters (bounds tried, sims
+	// aborted, candidates halved, time saved) across every completed job.
+	Pruning core.PruneReport `json:"pruning"`
 
 	WarmSets []WarmSetStats `json:"warm_sets"`
 }

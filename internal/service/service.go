@@ -31,6 +31,7 @@ import (
 	"heterog"
 	"heterog/internal/cli"
 	"heterog/internal/cluster"
+	"heterog/internal/core"
 	"heterog/internal/evalcache"
 	"heterog/internal/graph"
 )
@@ -117,6 +118,10 @@ type Server struct {
 	accepted uint64
 	rejected uint64
 	draining bool
+	// pruning accumulates the cold-path pruning counters of every job that
+	// produced a pipeline report; failed and canceled jobs do not
+	// contribute (their runner never materialized).
+	pruning core.PruneReport
 
 	workers   sync.WaitGroup
 	closeOnce sync.Once
@@ -434,6 +439,9 @@ func planOptions(spec *cli.Spec) []heterog.Option {
 			opts = append(opts, heterog.WithFaultSeed(spec.FaultSeed))
 		}
 	}
+	if spec.Exact {
+		opts = append(opts, heterog.WithPruning(false), heterog.WithHalving(false))
+	}
 	return opts
 }
 
@@ -482,6 +490,7 @@ func (s *Server) plan(ctx context.Context, j *job) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pruning.Add(pipe.Pruning)
 	j.runner = runner
 	planSec := s.now().Sub(j.started).Seconds()
 	j.report = &PlanReport{
@@ -649,6 +658,7 @@ func (s *Server) Stats() *ServerStats {
 		QueueDepth: s.cfg.QueueDepth,
 		Accepted:   s.accepted,
 		Rejected:   s.rejected,
+		Pruning:    s.pruning,
 	}
 	for _, j := range s.jobs {
 		switch j.state {

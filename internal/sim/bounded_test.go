@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunBoundedAbortsPastBound(t *testing.T) {
+	ty := newToy(1)
+	prev := ty.op(0, 1, 0)
+	for i := 0; i < 9; i++ {
+		prev = ty.op(0, 1, 0, prev)
+	}
+	// The chain finishes at t=10; a bound of 4.5 must abort mid-run.
+	_, err := RunBounded(ty.dg, uniformPr(10), 4.5)
+	if !errors.Is(err, ErrBoundExceeded) {
+		t.Fatalf("err = %v, want ErrBoundExceeded", err)
+	}
+	// A bound at exactly the makespan completes: abort fires only when the
+	// clock strictly exceeds the bound.
+	res, err := RunBounded(ty.dg, uniformPr(10), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 10 {
+		t.Fatalf("makespan %v, want 10", res.Makespan)
+	}
+}
+
+func TestRunBoundedNonPositiveMeansUnbounded(t *testing.T) {
+	ty := newToy(1)
+	ty.op(0, 3, 0)
+	for _, bound := range []float64{0, -1} {
+		res, err := RunBounded(ty.dg, uniformPr(1), bound)
+		if err != nil {
+			t.Fatalf("bound %v: %v", bound, err)
+		}
+		if res.Makespan != 3 {
+			t.Fatalf("bound %v: makespan %v, want 3", bound, res.Makespan)
+		}
+	}
+}
+
+// TestRunBoundedCompletedIsBitIdentical is the zero-overhead guarantee: a
+// bounded run that completes must produce exactly the schedule an unbounded
+// run produces — same makespan, same per-op starts/finishes, same peaks —
+// because the abort check only reads the monotone event clock.
+func TestRunBoundedCompletedIsBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := randomToy(rng, 1+rng.Intn(5), 2+rng.Intn(50))
+		pr := make([]float64, len(ty.dg.Ops))
+		for i := range pr {
+			pr[i] = rng.Float64()
+		}
+		free, err := Run(ty.dg, pr)
+		if err != nil {
+			return false
+		}
+		bounded, err := RunBounded(ty.dg, pr, free.Makespan)
+		if err != nil {
+			return false
+		}
+		if bounded.Makespan != free.Makespan {
+			return false
+		}
+		for i := range free.Starts {
+			if bounded.Starts[i] != free.Starts[i] || bounded.Finishes[i] != free.Finishes[i] {
+				return false
+			}
+		}
+		for d := range free.PeakMem {
+			if bounded.PeakMem[d] != free.PeakMem[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunBoundedAbortIsSound: whenever a bounded run aborts, the true
+// makespan really does exceed the bound — early abort never kills a run that
+// would have finished in time.
+func TestRunBoundedAbortIsSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := randomToy(rng, 1+rng.Intn(4), 2+rng.Intn(40))
+		pr := make([]float64, len(ty.dg.Ops))
+		for i := range pr {
+			pr[i] = rng.Float64()
+		}
+		free, err := Run(ty.dg, pr)
+		if err != nil {
+			return false
+		}
+		bound := free.Makespan * rng.Float64() // anywhere below the true makespan
+		_, err = RunBounded(ty.dg, pr, bound)
+		if err == nil {
+			// Completing is fine only if nothing finished past the bound,
+			// i.e. the bound landed exactly on the makespan (measure zero).
+			return free.Makespan <= bound
+		}
+		return errors.Is(err, ErrBoundExceeded) && free.Makespan > bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatorRunBoundedMatchesPackageRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ty := randomToy(rng, 3, 30)
+	pr := make([]float64, len(ty.dg.Ops))
+	for i := range pr {
+		pr[i] = rng.Float64()
+	}
+	free, err := Run(ty.dg, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Simulator
+	if _, err := s.RunBounded(ty.dg, pr, free.Makespan/2); !errors.Is(err, ErrBoundExceeded) {
+		t.Fatalf("reused simulator: err = %v, want ErrBoundExceeded", err)
+	}
+	// The same Simulator must be reusable after an abort.
+	res, err := s.RunBounded(ty.dg, pr, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != free.Makespan {
+		t.Fatalf("post-abort reuse: makespan %v, want %v", res.Makespan, free.Makespan)
+	}
+}

@@ -17,12 +17,21 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"heterog/internal/compiler"
 )
+
+// ErrBoundExceeded is the sentinel returned by RunBounded when the event
+// clock crosses the caller's makespan bound. The event-loop clock is
+// monotone, so once `now` passes the bound the final makespan provably
+// exceeds it too — the candidate is a certified loser and the rest of the
+// simulation is skipped. The error is a preallocated sentinel: the abort
+// path allocates nothing.
+var ErrBoundExceeded = errors.New("sim: makespan bound exceeded")
 
 // Result summarizes one simulated training run.
 type Result struct {
@@ -400,6 +409,19 @@ func (s *Simulator) reset(dg *compiler.DistGraph, priorities []float64) {
 // The returned Result aliases the Simulator's reusable buffers: it is valid
 // until the next Run call on this Simulator. Clone it to retain it.
 func (s *Simulator) Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+	return s.RunBounded(dg, priorities, math.Inf(1))
+}
+
+// RunBounded is Run with an early abort: when the event clock crosses bound,
+// the simulation stops and returns (nil, ErrBoundExceeded). Because event
+// times are popped in nondecreasing order, crossing the bound certifies the
+// final makespan would exceed it — bounded runs that do complete are
+// bit-identical to unbounded ones. A non-positive or +Inf bound disables the
+// abort. The abort path performs no allocations beyond Run's own.
+func (s *Simulator) RunBounded(dg *compiler.DistGraph, priorities []float64, bound float64) (*Result, error) {
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
 	n := len(dg.Ops)
 	if len(priorities) < n {
 		return nil, fmt.Errorf("priorities cover %d of %d ops", len(priorities), n)
@@ -416,6 +438,9 @@ func (s *Simulator) Run(dg *compiler.DistGraph, priorities []float64) (*Result, 
 	for len(s.events) > 0 {
 		ev := s.events.pop()
 		now = ev.time
+		if now > bound {
+			return nil, ErrBoundExceeded
+		}
 		s.complete(ev.op, now)
 		// Drain same-time completions before dispatching so simultaneous
 		// frees are visible together.
@@ -455,8 +480,14 @@ var simPool = sync.Pool{New: func() any { return NewSimulator() }}
 // Run is the one-shot compatibility wrapper around Simulator: it draws a
 // reusable simulator from a shared pool and returns a Result the caller owns.
 func Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+	return RunBounded(dg, priorities, math.Inf(1))
+}
+
+// RunBounded is the pooled one-shot wrapper around Simulator.RunBounded; it
+// returns (nil, ErrBoundExceeded) when the event clock crosses bound.
+func RunBounded(dg *compiler.DistGraph, priorities []float64, bound float64) (*Result, error) {
 	s := simPool.Get().(*Simulator)
-	res, err := s.Run(dg, priorities)
+	res, err := s.RunBounded(dg, priorities, bound)
 	if err != nil {
 		simPool.Put(s)
 		return nil, err
