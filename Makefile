@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-robust bench-pipeline bench-serve
+.PHONY: check vet lint build test race bench bench-robust bench-pipeline bench-serve bench-replan
 
 # check is the tier-1 verification entry point: static analysis, build, the
 # full test suite, and the race detector over the concurrency-sensitive
@@ -29,12 +29,13 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with shared mutable state on the evaluation fast
-# path (plus the fault/robustness machinery feeding it, and the planning
-# service whose worker pool shares warm caches across jobs); running the
-# whole tree under -race multiplies the RL/experiment test time ~10x for no
-# extra coverage, so it is scoped deliberately.
+# path (plus the fault/robustness machinery feeding it, the planning service
+# whose worker pool shares warm caches across jobs, and the telemetry
+# watcher/event log hammered by concurrent pushes); running the whole tree
+# under -race multiplies the RL/experiment test time ~10x for no extra
+# coverage, so it is scoped deliberately.
 race:
-	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/... ./internal/service/...
+	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/... ./internal/service/... ./internal/telemetry/...
 
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json.
@@ -58,3 +59,11 @@ bench-pipeline:
 # warm-cache hit rates.
 bench-serve:
 	$(GO) run ./cmd/heterog-serve -loadgen -queue 16 -out BENCH_serve.json
+
+# bench-replan regenerates the online-replanning exhibit recorded in
+# BENCH_replan.json: an in-process server ingests a seeded drift trace at
+# POST /v1/jobs/{id}/telemetry, fires automatic warm-agent replans on every
+# detected episode, and records the full plan-update event log plus the
+# warm-set counters proving replans reattach to shared caches.
+bench-replan:
+	$(GO) run ./cmd/heterog-serve -driftbench -out BENCH_replan.json

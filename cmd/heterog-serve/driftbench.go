@@ -1,0 +1,207 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/cluster"
+	"heterog/internal/service"
+	"heterog/internal/telemetry"
+)
+
+// The driftbench exhibit (`make bench-replan`) runs the full online loop
+// against an in-process server over real HTTP: plan a workload, stream a
+// seeded synthetic drift trace at POST /v1/jobs/{id}/telemetry, and record
+// every plan-update event the server emits while its monitor detects drift
+// episodes and fires automatic warm-agent replans. The output shows each
+// adopted replan strictly beating the stale plan's makespan on the drifted
+// cluster, and the warm-set counters proving replans reattach to warm caches.
+
+// replanEpisode summarizes one drift episode in BENCH_replan.json.
+type replanEpisode struct {
+	// Tick is the generator tick whose push tripped the watcher; Regime is
+	// the trace phase it was in.
+	Tick   int              `json:"tick"`
+	Regime telemetry.Regime `json:"regime"`
+	Reason string           `json:"reason"`
+	// ReplanJob, Cluster and Outcome come from the episode's terminal event.
+	ReplanJob string            `json:"replan_job"`
+	Cluster   string            `json:"cluster"`
+	Outcome   service.EventType `json:"outcome"`
+	// StalePerIterSec is the incumbent plan's makespan on the drifted
+	// cluster; ReplannedPerIterSec the adopted (or rejected) replacement's.
+	StalePerIterSec     float64 `json:"stale_per_iter_sec"`
+	ReplannedPerIterSec float64 `json:"replanned_per_iter_sec"`
+	ImprovementPct      float64 `json:"improvement_pct"`
+}
+
+// replanBenchOutput is the BENCH_replan.json schema.
+type replanBenchOutput struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	Workload    string            `json:"workload"`
+	Seed        int64             `json:"seed"`
+	Phases      []telemetry.Phase `json:"phases"`
+	Ticks       int               `json:"ticks"`
+
+	NominalPerIterSec float64         `json:"nominal_per_iter_sec"`
+	Episodes          []replanEpisode `json:"episodes"`
+	// Events is the job's complete plan-update log, sequence-dense from 1.
+	Events    []service.PlanEvent    `json:"events"`
+	Telemetry service.TelemetryStats `json:"telemetry"`
+	WarmSets  []service.WarmSetStats `json:"warm_sets"`
+}
+
+// runDriftBench starts an in-process server, plans one workload, streams the
+// seeded drift trace through the telemetry endpoint and writes the exhibit.
+func runDriftBench(cfg service.Config, out string, seed int64) error {
+	srv := service.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	client := service.NewClient("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// The coarse overlay quantum buckets drift regimes: episodes whose
+	// smoothed state quantizes to the same overlaid cluster share one warm
+	// set, and a recovered overlay quantizes back to the identity — the
+	// replan reattaches to the source workload's own caches.
+	spec := cli.Spec{
+		Model: "vgg19", Batch: 192, GPUs: 8, Seed: 1, Episodes: 4,
+		Telemetry: &telemetry.Thresholds{Quantum: 0.5},
+	}
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	final, err := client.Wait(ctx, st.ID, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if final.State != service.JobDone {
+		return fmt.Errorf("driftbench: source job ended %s: %s", final.State, final.Error)
+	}
+	rep, err := client.Report(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	log.Printf("driftbench: %s@%d planned on %s at %.3f s/iter (job %s)",
+		spec.Model, spec.Batch, rep.Cluster, rep.PerIterationSec, st.ID)
+
+	// The generator models the submitted cluster; GPUs: 8 is Testbed8.
+	gen := telemetry.NewGenerator(cluster.Testbed8(), telemetry.GenConfig{Seed: seed})
+	log.Printf("driftbench: streaming seed-%d trace %v (throttle hits devices %v)",
+		seed, telemetry.DefaultPhases(), gen.Throttled())
+
+	var episodes []replanEpisode
+	var seen uint64
+	for !gen.Done() {
+		readings := gen.Step()
+		tick, regime := gen.Tick(), gen.Regime()
+		ack, err := client.PushTelemetry(ctx, st.ID, readings)
+		if err != nil {
+			return fmt.Errorf("driftbench: push tick %d: %w", tick, err)
+		}
+		if !ack.Fired {
+			continue
+		}
+		// Block until the episode resolves so the trace pacing stays
+		// deterministic, tailing the event log from where we left off.
+		ep := replanEpisode{Tick: tick, Regime: regime, Reason: ack.Reason}
+		deadline := time.Now().Add(2 * time.Minute)
+	episode:
+		for {
+			evs, err := client.Events(ctx, st.ID, seen, 10*time.Second)
+			if err != nil {
+				return fmt.Errorf("driftbench: events: %w", err)
+			}
+			for _, ev := range evs {
+				seen = ev.Seq
+				switch ev.Type {
+				case service.EventReplanAdopted, service.EventReplanKeptIncumbent, service.EventReplanFailed:
+					ep.ReplanJob, ep.Cluster, ep.Outcome = ev.ReplanJob, ev.Cluster, ev.Type
+					ep.StalePerIterSec, ep.ReplannedPerIterSec = ev.OldPerIterSec, ev.NewPerIterSec
+					if ev.OldPerIterSec > 0 {
+						ep.ImprovementPct = 100 * (ev.OldPerIterSec - ev.NewPerIterSec) / ev.OldPerIterSec
+					}
+					break episode
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("driftbench: episode at tick %d never resolved", tick)
+			}
+		}
+		episodes = append(episodes, ep)
+		log.Printf("  tick %2d (%s): %s → %s %.3f → %.3f s/iter (%+.1f%%)",
+			tick, regime, ep.Reason, ep.Outcome,
+			ep.StalePerIterSec, ep.ReplannedPerIterSec, ep.ImprovementPct)
+	}
+
+	events, err := client.Events(ctx, st.ID, 0, 0)
+	if err != nil {
+		return err
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+
+	// The exhibit's claim: the loop detected the throttle and produced at
+	// least one replan that strictly beats the stale plan where it ran.
+	adopted := 0
+	for _, ep := range episodes {
+		if ep.Outcome == service.EventReplanAdopted && ep.ReplannedPerIterSec < ep.StalePerIterSec {
+			adopted++
+		}
+	}
+	if adopted == 0 {
+		return fmt.Errorf("driftbench: no adopted replan strictly beat the stale plan (%d episodes)", len(episodes))
+	}
+	shared := 0
+	for _, ws := range stats.WarmSets {
+		if ws.Jobs >= 2 && ws.Eval.Hits > 0 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("driftbench: no warm set was shared across jobs; replans did not reattach to warm caches")
+	}
+
+	bench := replanBenchOutput{
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		Workload:          fmt.Sprintf("%s@%d/gpus=%d", spec.Model, spec.Batch, spec.GPUs),
+		Seed:              seed,
+		Phases:            telemetry.DefaultPhases(),
+		Ticks:             gen.Tick(),
+		NominalPerIterSec: rep.PerIterationSec,
+		Episodes:          episodes,
+		Events:            events,
+		Telemetry:         stats.Telemetry,
+		WarmSets:          stats.WarmSets,
+	}
+	raw, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("driftbench: %d episodes (%d adopted), %d events, %d observations; wrote %s",
+		len(episodes), adopted, len(events), stats.Telemetry.Observations, out)
+	return nil
+}

@@ -12,6 +12,11 @@
 // With -loadgen the binary instead spins up an in-process server, drives it
 // with a mixed zoo workload at several client concurrency levels, and writes
 // the throughput/latency/cache-hit exhibit consumed by `make bench-serve`.
+//
+// With -driftbench it spins up an in-process server, streams a seeded
+// synthetic drift trace through POST /v1/jobs/{id}/telemetry, and writes the
+// online-replanning exhibit consumed by `make bench-replan`: every detected
+// drift episode, the automatic replan it fired, and the warm-cache counters.
 package main
 
 import (
@@ -47,9 +52,11 @@ func main() {
 	warmSets := flag.Int("warm-sets", 0, "max distinct workloads with resident warm caches (0 = default)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	loadgen := flag.Bool("loadgen", false, "run the load-generator exhibit against an in-process server and exit")
-	out := flag.String("out", "BENCH_serve.json", "loadgen: output path")
+	out := flag.String("out", "BENCH_serve.json", "loadgen/driftbench: output path")
 	jobs := flag.Int("jobs", 8, "loadgen: jobs per concurrency level")
 	levels := flag.String("levels", "1,2,4,8", "loadgen: comma-separated client concurrency levels")
+	driftbench := flag.Bool("driftbench", false, "run the telemetry-driven replanning exhibit against an in-process server and exit")
+	driftSeed := flag.Int64("drift-seed", 7, "driftbench: drift-trace seed (same seed = identical trace)")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -75,6 +82,13 @@ func main() {
 
 	if *loadgen {
 		if err := runLoadgen(cfg, *out, *jobs, *levels); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *driftbench {
+		if err := runDriftBench(cfg, *out, *driftSeed); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -18,7 +18,7 @@ func ExampleGetRunner() {
 		heterog.ZooModel(models.MobileNetV2, 64), // model_func
 		func() (int, error) { return 64, nil },   // input_func
 		cluster.Testbed4(),                       // device_info
-		&heterog.Config{Episodes: 0},             // heterog_config
+		heterog.WithEpisodes(0),                  // heterog_config
 	)
 	if err != nil {
 		fmt.Println("error:", err)

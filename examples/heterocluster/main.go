@@ -29,7 +29,7 @@ func main() {
 
 	const batch = 144
 	runner, err := heterog.GetRunner(heterog.ZooModel(models.InceptionV3, batch),
-		func() (int, error) { return batch, nil }, devices, &heterog.Config{Episodes: 4})
+		func() (int, error) { return batch, nil }, devices, heterog.WithEpisodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

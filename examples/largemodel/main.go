@@ -49,7 +49,7 @@ func main() {
 	// HeteroG finds a feasible hybrid deployment.
 	bert48 := func(b int) (*graph.Graph, error) { return models.BertLarge(48, b) }
 	runner, err := heterog.GetRunner(heterog.ZooModel(bert48, batch),
-		model, devices, &heterog.Config{Episodes: 4})
+		model, devices, heterog.WithEpisodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

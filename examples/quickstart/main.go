@@ -24,7 +24,7 @@ func main() {
 	// (2x V100, 4x GTX 1080Ti, 2x P100 over 100/50GbE).
 	devices := cluster.Testbed8()
 
-	runner, err := heterog.GetRunner(modelFunc, inputFunc, devices, &heterog.Config{Episodes: 4})
+	runner, err := heterog.GetRunner(modelFunc, inputFunc, devices, heterog.WithEpisodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

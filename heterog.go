@@ -41,6 +41,7 @@ import (
 	"heterog/internal/graph"
 	"heterog/internal/sim"
 	"heterog/internal/strategy"
+	"heterog/internal/telemetry"
 )
 
 // ModelFunc builds the single-GPU training graph, like the paper's
@@ -89,6 +90,9 @@ type settings struct {
 	// pruning/halving gate the cold-path accelerations (both default on;
 	// WithPruning(false)/WithHalving(false) restore exhaustive evaluation).
 	pruning, halving bool
+	// drift, when non-nil, overrides the telemetry watcher thresholds built
+	// by Runner.Watcher (nil = telemetry package defaults).
+	drift *telemetry.Thresholds
 }
 
 func defaultSettings() settings {
@@ -197,12 +201,24 @@ func WithHalving(on bool) Option {
 	return optionFunc(func(s *settings) { s.halving = on })
 }
 
+// WithTelemetryThresholds sets the drift-detection thresholds used by
+// Runner.Watcher and by the planning service's per-job telemetry monitors:
+// EWMA smoothing factor, per-metric trigger/clear hysteresis bands, and the
+// overlay quantization step. The zero value of any knob keeps the telemetry
+// package default. The thresholds are validated when the first watcher is
+// built, not here.
+func WithTelemetryThresholds(th telemetry.Thresholds) Option {
+	return optionFunc(func(s *settings) { s.drift = &th })
+}
+
 // Config is the legacy heterog_config object.
 //
-// Deprecated: pass Options instead (WithEpisodes, WithSeed, WithDefaultOrder,
-// WithAgent). A *Config still works as an Option — existing call sites keep
-// compiling — but new knobs (robustness, batched episodes) only exist as
-// Options.
+// Deprecated: pass Options instead — WithEpisodes, WithSeed, WithDefaultOrder
+// and WithAgent cover every Config field one-for-one. A *Config still works as
+// an Option, so existing call sites keep compiling, but the struct is frozen:
+// every knob added since (robustness, batched episodes, contexts, shared
+// caches, pruning, telemetry thresholds) exists only as an Option, and new
+// code should not introduce Config uses.
 type Config struct {
 	// Episodes is the RL budget for strategy search on top of the
 	// heuristic candidate pool (default 6).
@@ -429,21 +445,17 @@ func (r *Runner) WriteTrace(w io.Writer) error {
 // different device count (e.g. a GPU was removed), the action space changes
 // and a fresh agent is built.
 //
+// Extra per-call Options layer on top of the original planning configuration
+// — typically WithContext for a timeout on the replanning search, or
+// WithCaches to plan through a warm-cache set keyed to the degraded cluster.
+// The original request's context and caches are always dropped first: the
+// former has usually expired, and the latter is keyed to the old cluster,
+// whose cached timings would be silently wrong on the new one.
+//
 // The incumbent strategy is re-scored on the new cluster and kept if it still
 // wins, so a Replan never does worse than running the stale plan on the
 // degraded cluster. The original Runner is left untouched.
-func (r *Runner) Replan(newDevices *DeviceInfo) (*Runner, error) {
-	return r.ReplanWithOptions(newDevices)
-}
-
-// ReplanWithOptions is Replan with extra per-call Options layered on top of
-// the original planning configuration — typically WithContext for a timeout
-// on the replanning search, or WithCaches to plan through a warm-cache set
-// keyed to the degraded cluster. The original request's context and caches
-// are always dropped first: the former has usually expired, and the latter
-// is keyed to the old cluster, whose cached timings would be silently wrong
-// on the new one.
-func (r *Runner) ReplanWithOptions(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
+func (r *Runner) Replan(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
 	if newDevices == nil || newDevices.NumDevices() == 0 {
 		return nil, fmt.Errorf("heterog: replan needs a non-empty device set")
 	}
@@ -472,6 +484,49 @@ func (r *Runner) ReplanWithOptions(newDevices *DeviceInfo, opts ...Option) (*Run
 		}
 	}
 	return nr, nil
+}
+
+// ReplanWithOptions re-plans on a changed cluster with extra Options.
+//
+// Deprecated: Replan is variadic now and accepts the same options directly;
+// this shim survives only so call sites written against the old two-method
+// shape keep compiling. Use Replan.
+func (r *Runner) ReplanWithOptions(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
+	return r.Replan(newDevices, opts...)
+}
+
+// Evaluate scores an arbitrary strategy on this runner's cluster through its
+// evaluator — and therefore through its warm caches, so re-scoring a strategy
+// the planner already visited is a cache hit. This is how a caller compares an
+// old plan against a replanned one on equal terms: evaluate the stale strategy
+// on the new runner and read both evaluations' PerIter. The runner's own plan
+// is left untouched.
+func (r *Runner) Evaluate(s *strategy.Strategy) (*core.Evaluation, error) {
+	if s == nil {
+		return nil, fmt.Errorf("heterog: Evaluate needs a non-nil strategy")
+	}
+	e, err := r.evaluator.Evaluate(s)
+	if err != nil {
+		return nil, fmt.Errorf("heterog: evaluate strategy: %w", err)
+	}
+	return e, nil
+}
+
+// Watcher builds a telemetry drift watcher for the runner's cluster under the
+// thresholds supplied via WithTelemetryThresholds (telemetry package defaults
+// otherwise). The watcher starts with an all-nominal baseline — the state the
+// runner's plan was computed for; feed it observations and replan when it
+// trips. The planning service builds one per job to drive automatic
+// replanning; library users can run the same loop in-process.
+func (r *Runner) Watcher() (*telemetry.Watcher, error) {
+	var th telemetry.Thresholds
+	if r.cfg.drift != nil {
+		th = *r.cfg.drift
+	}
+	if err := th.Validate(); err != nil {
+		return nil, fmt.Errorf("heterog: %w", err)
+	}
+	return telemetry.NewWatcher(r.Cluster, th), nil
 }
 
 // ScoreFaults scores the runner's already-chosen plan across k deterministic

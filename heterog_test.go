@@ -20,7 +20,7 @@ func TestGetRunnerQuickstart(t *testing.T) {
 		ZooModel(models.MobileNetV2, 64),
 		func() (int, error) { return 64, nil },
 		cluster.Testbed4(),
-		&Config{Episodes: 1},
+		WithEpisodes(1),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +56,7 @@ func TestGetRunnerErrors(t *testing.T) {
 	if _, err := GetRunner(func() (*graph.Graph, error) { return nil, errBoom }, bad, devices, nil); err == nil {
 		t.Fatal("model_func errors must propagate")
 	}
-	runner, err := GetRunner(ZooModel(models.MobileNetV2, 64), bad, devices, &Config{Episodes: 1})
+	runner, err := GetRunner(ZooModel(models.MobileNetV2, 64), bad, devices, WithEpisodes(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestGetRunnerRejectsInfeasibleModel(t *testing.T) {
 		ZooModel(func(b int) (*graph.Graph, error) { return models.BertLarge(48, b) }, 24),
 		func() (int, error) { return 24, nil },
 		small,
-		&Config{Episodes: 0},
+		WithEpisodes(0),
 	)
 	if err == nil {
 		t.Fatal("expected an infeasibility error")

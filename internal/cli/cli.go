@@ -19,6 +19,7 @@ import (
 	"heterog/internal/cluster"
 	"heterog/internal/graph"
 	"heterog/internal/models"
+	"heterog/internal/telemetry"
 )
 
 // ServerSpec describes one server class of a custom cluster.
@@ -109,6 +110,11 @@ type Spec struct {
 	// the exhaustive cold path (exact timings for every candidate, not just
 	// the winner).
 	Exact bool `json:"exact,omitempty"`
+	// Telemetry overrides the drift-detection thresholds (EWMA alpha,
+	// trigger/clear hysteresis bands, overlay quantum) the planning service
+	// uses when this job's telemetry monitor watches pushed observations.
+	// Nil keeps the telemetry package defaults.
+	Telemetry *telemetry.Thresholds `json:"telemetry,omitempty"`
 }
 
 // RegisterModelFlags binds -model and -batch.
@@ -166,6 +172,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.Blend < 0 || s.Blend > 1 {
 		return fmt.Errorf("cli: blend must be in [0,1], got %g", s.Blend)
+	}
+	if s.Telemetry != nil {
+		if err := s.Telemetry.Validate(); err != nil {
+			return fmt.Errorf("cli: %w", err)
+		}
 	}
 	return nil
 }

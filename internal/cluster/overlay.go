@@ -1,0 +1,111 @@
+package cluster
+
+import "fmt"
+
+// Overlay is a point-in-time multiplicative perturbation of a cluster —
+// the common currency between the fault model's static scenarios and the
+// telemetry watcher's continuously observed drift state. All slices are
+// indexed like the cluster's Devices and Links; a nil slice (or a zero entry)
+// means "unperturbed" for that dimension.
+type Overlay struct {
+	// Slowdown[d] >= 1 multiplies device d's compute time (divides its
+	// effective TFLOPS and relative power). 0 is treated as 1.
+	Slowdown []float64
+	// LinkFactor[i] in (0,1] scales link i's remaining bandwidth. 0 is
+	// treated as 1.
+	LinkFactor []float64
+	// MemFactor[d] in (0,1] scales device d's usable memory headroom (the
+	// part above the runtime reserve). 0 is treated as 1.
+	MemFactor []float64
+	// Label names the perturbation in the overlaid cluster's name
+	// ("cluster+Label"). Empty selects an automatic summary label; an
+	// identity overlay leaves the name untouched either way.
+	Label string
+}
+
+// factor returns s[i] with the zero-means-unperturbed convention.
+func factor(s []float64, i int) float64 {
+	if i >= len(s) || s[i] == 0 {
+		return 1
+	}
+	return s[i]
+}
+
+// Identity reports whether the overlay perturbs nothing.
+func (o *Overlay) Identity() bool {
+	for i := range o.Slowdown {
+		if o.Slowdown[i] != 0 && o.Slowdown[i] != 1 {
+			return false
+		}
+	}
+	for i := range o.LinkFactor {
+		if o.LinkFactor[i] != 0 && o.LinkFactor[i] != 1 {
+			return false
+		}
+	}
+	for i := range o.MemFactor {
+		if o.MemFactor[i] != 0 && o.MemFactor[i] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// summary renders the automatic label: how many devices slowed, links
+// degraded and devices memory-shrunk.
+func (o *Overlay) summary() string {
+	slow, links, mem := 0, 0, 0
+	for i := range o.Slowdown {
+		if o.Slowdown[i] != 0 && o.Slowdown[i] != 1 {
+			slow++
+		}
+	}
+	for i := range o.LinkFactor {
+		if o.LinkFactor[i] != 0 && o.LinkFactor[i] != 1 {
+			links++
+		}
+	}
+	for i := range o.MemFactor {
+		if o.MemFactor[i] != 0 && o.MemFactor[i] != 1 {
+			mem++
+		}
+	}
+	return fmt.Sprintf("drift[%dslow/%dlink/%dmem]", slow, links, mem)
+}
+
+// ApplyObservations returns a perturbed deep copy of the cluster with the
+// overlay's observed drift applied: device compute throughput and relative
+// power divided by the slowdown, link bandwidths scaled by LinkFactor, and
+// usable memory headroom scaled by MemFactor. The source cluster is never
+// mutated — this mirrors faults.Scenario.Apply, which is itself implemented
+// on top of it. ApplyObservations panics if a non-nil overlay slice does not
+// match the cluster's shape, exactly like a mis-sized fault scenario.
+func (c *Cluster) ApplyObservations(o Overlay) *Cluster {
+	if (o.Slowdown != nil && len(o.Slowdown) != c.NumDevices()) ||
+		(o.MemFactor != nil && len(o.MemFactor) != c.NumDevices()) ||
+		(o.LinkFactor != nil && len(o.LinkFactor) != c.NumLinks()) {
+		panic(fmt.Sprintf("cluster: overlay sized for %d devices/%d links, cluster %q has %d/%d",
+			len(o.Slowdown), len(o.LinkFactor), c.Name, c.NumDevices(), c.NumLinks()))
+	}
+	pc := c.Clone()
+	if o.Identity() {
+		return pc
+	}
+	label := o.Label
+	if label == "" {
+		label = o.summary()
+	}
+	pc.Name = c.Name + "+" + label
+	for i := range pc.Devices {
+		d := &pc.Devices[i]
+		slow := factor(o.Slowdown, d.ID)
+		d.Model.PeakTFLOPS /= slow
+		d.Model.Power /= slow
+		usable := float64(d.Model.MemBytes - RuntimeReserveBytes)
+		d.Model.MemBytes = RuntimeReserveBytes + int64(usable*factor(o.MemFactor, d.ID))
+	}
+	for i := range pc.Links {
+		pc.Links[i].Bandwidth *= factor(o.LinkFactor, i)
+	}
+	return pc
+}

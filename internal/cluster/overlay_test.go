@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestApplyObservationsScalesResources(t *testing.T) {
+	c := Testbed4()
+	o := Overlay{
+		Slowdown:   make([]float64, c.NumDevices()),
+		LinkFactor: make([]float64, c.NumLinks()),
+		MemFactor:  make([]float64, c.NumDevices()),
+		Label:      "throttle",
+	}
+	o.Slowdown[1] = 2
+	o.MemFactor[1] = 0.5
+	o.LinkFactor[3] = 0.25
+
+	origTFLOPS := c.Devices[1].Model.PeakTFLOPS
+	origPower := c.Devices[1].Model.Power
+	origUsable := c.Devices[1].UsableMemBytes()
+	origBW := c.Links[3].Bandwidth
+
+	p := c.ApplyObservations(o)
+	if p.Name != c.Name+"+throttle" {
+		t.Fatalf("overlaid name = %q, want %q", p.Name, c.Name+"+throttle")
+	}
+	if got := p.Devices[1].Model.PeakTFLOPS; got != origTFLOPS/2 {
+		t.Fatalf("slowdown 2 must halve TFLOPS: %v, want %v", got, origTFLOPS/2)
+	}
+	if got := p.Devices[1].Model.Power; got != origPower/2 {
+		t.Fatalf("slowdown 2 must halve relative power: %v, want %v", got, origPower/2)
+	}
+	if got := p.Devices[1].UsableMemBytes(); got != origUsable/2 {
+		t.Fatalf("mem factor 0.5 must halve usable memory: %d, want %d", got, origUsable/2)
+	}
+	if got := p.Links[3].Bandwidth; got != origBW*0.25 {
+		t.Fatalf("link factor 0.25: bandwidth %v, want %v", got, origBW*0.25)
+	}
+
+	// Zero entries mean unperturbed; every other device and link is untouched.
+	for d := range p.Devices {
+		if d == 1 {
+			continue
+		}
+		if p.Devices[d].Model != c.Devices[d].Model {
+			t.Fatalf("device %d perturbed by an overlay that does not name it", d)
+		}
+	}
+	for i := range p.Links {
+		if i == 3 {
+			continue
+		}
+		if p.Links[i].Bandwidth != c.Links[i].Bandwidth {
+			t.Fatalf("link %d perturbed by an overlay that does not name it", i)
+		}
+	}
+
+	// The source cluster is never mutated.
+	if c.Devices[1].Model.PeakTFLOPS != origTFLOPS || c.Links[3].Bandwidth != origBW {
+		t.Fatal("ApplyObservations mutated the source cluster")
+	}
+}
+
+func TestApplyObservationsIdentity(t *testing.T) {
+	c := Testbed8()
+	// Nil slices and all-1 slices are both the identity.
+	for _, o := range []Overlay{
+		{},
+		{Slowdown: ones4(c.NumDevices()), LinkFactor: ones4(c.NumLinks()), MemFactor: ones4(c.NumDevices()), Label: "noop"},
+	} {
+		p := c.ApplyObservations(o)
+		if !o.Identity() {
+			t.Fatalf("overlay %+v must be the identity", o)
+		}
+		if p.Name != c.Name {
+			t.Fatalf("identity overlay renamed the cluster to %q", p.Name)
+		}
+		if p == c {
+			t.Fatal("ApplyObservations must clone even for the identity")
+		}
+		p.Devices[0].Model.PeakTFLOPS = 1
+		if c.Devices[0].Model.PeakTFLOPS == 1 {
+			t.Fatal("identity overlay returned a shallow copy")
+		}
+	}
+}
+
+func TestApplyObservationsAutoLabel(t *testing.T) {
+	c := Testbed4()
+	o := Overlay{Slowdown: []float64{2, 0, 0, 0}, LinkFactor: make([]float64, c.NumLinks()), MemFactor: make([]float64, 4)}
+	if got, want := c.ApplyObservations(o).Name, c.Name+"+drift[1slow/0link/0mem]"; got != want {
+		t.Fatalf("auto label = %q, want %q", got, want)
+	}
+}
+
+func TestApplyObservationsShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized overlay must panic, like a mis-sized fault scenario")
+		}
+	}()
+	Testbed4().ApplyObservations(Overlay{Slowdown: []float64{2}})
+}
+
+func ones4(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}

@@ -123,6 +123,15 @@ func WorkloadFingerprint(g *graph.Graph, c *cluster.Cluster, seed int64) Key {
 		f64(s.PCIeBandwidth)
 		u64(uint64(s.NICLanes))
 	}
+	// Per-link bandwidths and latencies are hashed individually, not just the
+	// server-level NIC/PCIe numbers they were derived from: fault scenarios
+	// and telemetry drift overlays degrade Links directly, and two overlays
+	// differing only in link state must never share a warm set.
+	u64(uint64(len(c.Links)))
+	for _, l := range c.Links {
+		f64(l.Bandwidth)
+		f64(l.Latency)
+	}
 	var k Key
 	h.Sum(k[:0])
 	return k

@@ -174,6 +174,20 @@ func (s *Scenario) EffectiveSlowdowns() []float64 {
 	return out
 }
 
+// Overlay renders the scenario as a cluster overlay: the effective per-device
+// slowdowns (failure penalty folded in), link bandwidth factors and memory
+// factors, labeled with the scenario name. This is the bridge between the
+// static fault model and the telemetry-driven drift machinery — both degrade
+// clusters through cluster.ApplyObservations.
+func (s *Scenario) Overlay() cluster.Overlay {
+	return cluster.Overlay{
+		Slowdown:   s.EffectiveSlowdowns(),
+		LinkFactor: s.LinkFactor,
+		MemFactor:  s.MemFactor,
+		Label:      s.Name,
+	}
+}
+
 // Apply returns a perturbed deep copy of the cluster: device compute power is
 // divided by the effective slowdown, link bandwidths are scaled by LinkFactor,
 // and usable memory headroom shrinks by MemFactor. The source cluster is
@@ -184,19 +198,10 @@ func (s *Scenario) Apply(c *cluster.Cluster) *cluster.Cluster {
 		panic(fmt.Sprintf("faults: scenario %s sized for %d devices/%d links, cluster %q has %d/%d",
 			s.Name, len(s.Slowdown), len(s.LinkFactor), c.Name, c.NumDevices(), c.NumLinks()))
 	}
-	pc := c.Clone()
+	pc := c.ApplyObservations(s.Overlay())
+	// An identity scenario still renames its clone, so scenario-applied
+	// clusters are always distinguishable from the nominal one.
 	pc.Name = c.Name + "+" + s.Name
-	for i := range pc.Devices {
-		d := &pc.Devices[i]
-		slow := s.EffectiveSlowdown(d.ID)
-		d.Model.PeakTFLOPS /= slow
-		d.Model.Power /= slow
-		usable := float64(d.Model.MemBytes - cluster.RuntimeReserveBytes)
-		d.Model.MemBytes = cluster.RuntimeReserveBytes + int64(usable*s.MemFactor[d.ID])
-	}
-	for i := range pc.Links {
-		pc.Links[i].Bandwidth *= s.LinkFactor[i]
-	}
 	return pc
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"heterog/internal/cli"
+	"heterog/internal/telemetry"
 )
 
 // Client is the typed Go client for the planning service. It speaks the
@@ -34,16 +35,60 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// APIError is a non-2xx response from the server.
+// APIError is a non-2xx response from the server, decoded from the versioned
+// error envelope. Unwrap maps the envelope's stable code back onto the typed
+// service error, so errors.Is(err, service.ErrQueueFull) (and the rest of the
+// sentinels) holds on the client side exactly as it does in-process.
 type APIError struct {
 	Status int
+	// Code is the envelope's stable machine-readable code ("queue_full",
+	// "not_found", ...); empty when the server sent no envelope.
+	Code string
 	// RetryAfter echoes the backpressure hint on 429 responses.
 	RetryAfter time.Duration
 	Message    string
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: HTTP %d (%s): %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// codeSentinels maps envelope codes back to the typed errors. bad_request has
+// no sentinel: it covers malformed input with no programmatic recovery.
+var codeSentinels = map[string]error{
+	CodeQueueFull:  ErrQueueFull,
+	CodeDraining:   ErrDraining,
+	CodeNotFound:   ErrNotFound,
+	CodeNotDone:    ErrNotDone,
+	CodeOOM:        ErrOOM,
+	CodeNoStrategy: ErrNoStrategy,
+}
+
+// Unwrap exposes the typed error behind the wire code.
+func (e *APIError) Unwrap() error { return codeSentinels[e.Code] }
+
+// decodeError turns a non-2xx response into an *APIError.
+func decodeError(resp *http.Response) *APIError {
+	apiErr := &APIError{Status: resp.StatusCode}
+	var env errorEnvelope
+	if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+		apiErr.RetryAfter = time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	} else {
+		apiErr.Message = resp.Status
+	}
+	if apiErr.RetryAfter == 0 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := time.ParseDuration(ra + "s"); err == nil {
+				apiErr.RetryAfter = secs
+			}
+		}
+	}
+	return apiErr
 }
 
 // do issues one request and decodes the JSON response into out (skipped when
@@ -70,19 +115,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		apiErr := &APIError{Status: resp.StatusCode}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := time.ParseDuration(ra + "s"); err == nil {
-				apiErr.RetryAfter = secs
-			}
-		}
-		var he httpError
-		if json.NewDecoder(resp.Body).Decode(&he) == nil && he.Error != "" {
-			apiErr.Message = he.Error
-		} else {
-			apiErr.Message = resp.Status
-		}
-		return apiErr
+		return decodeError(resp)
 	}
 	if out == nil {
 		return nil
@@ -150,9 +183,7 @@ func (c *Client) Trace(ctx context.Context, id string, w io.Writer) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var he httpError
-		_ = json.NewDecoder(resp.Body).Decode(&he)
-		return &APIError{Status: resp.StatusCode, Message: he.Error}
+		return decodeError(resp)
 	}
 	_, err = io.Copy(w, resp.Body)
 	return err
@@ -174,6 +205,32 @@ func (c *Client) Replan(ctx context.Context, id string, req ReplanRequest) (*Job
 		return nil, err
 	}
 	return &st, nil
+}
+
+// PushTelemetry folds device/link observations into a finished job's drift
+// monitor. The ack reports whether this push tripped a drift episode (which
+// fires an automatic replan server-side) and how long the event log is.
+func (c *Client) PushTelemetry(ctx context.Context, id string, readings []telemetry.Reading) (*TelemetryAck, error) {
+	var ack TelemetryAck
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/telemetry", readings, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// Events fetches a job's plan-update events with Seq > since. A positive wait
+// long-polls: the server holds the request until an event past since exists or
+// wait elapses (returning an empty slice — poll again from the same since).
+func (c *Client) Events(ctx context.Context, id string, since uint64, wait time.Duration) ([]PlanEvent, error) {
+	path := fmt.Sprintf("/v1/jobs/%s/events?since=%d", id, since)
+	if wait > 0 {
+		path += "&wait=" + wait.String()
+	}
+	var evs []PlanEvent
+	if err := c.do(ctx, http.MethodGet, path, nil, &evs); err != nil {
+		return nil, err
+	}
+	return evs, nil
 }
 
 // Jobs lists every retained job.

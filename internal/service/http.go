@@ -10,26 +10,88 @@ import (
 	"time"
 
 	"heterog/internal/cli"
+	"heterog/internal/telemetry"
 )
 
 // The HTTP/JSON surface of the planning service:
 //
-//	POST   /v1/jobs             submit a cli.Spec          → 202 JobStatus
-//	GET    /v1/jobs             list retained jobs         → 200 []JobStatus
-//	GET    /v1/jobs/{id}        status (?wait=30s long-polls until terminal)
-//	DELETE /v1/jobs/{id}        cancel                     → 200 JobStatus
-//	GET    /v1/jobs/{id}/report plan report                → 200 PlanReport
-//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON    → 200 stream
-//	POST   /v1/jobs/{id}/replan ReplanRequest              → 202 JobStatus
-//	GET    /v1/stats            server + warm-cache stats  → 200 ServerStats
-//	GET    /healthz             liveness                   → 200
+//	POST   /v1/jobs                submit a cli.Spec          → 202 JobStatus
+//	GET    /v1/jobs                list retained jobs         → 200 []JobStatus
+//	GET    /v1/jobs/{id}           status (?wait=30s long-polls until terminal)
+//	DELETE /v1/jobs/{id}           cancel                     → 200 JobStatus
+//	GET    /v1/jobs/{id}/report    plan report                → 200 PlanReport
+//	GET    /v1/jobs/{id}/trace     Chrome trace-event JSON    → 200 stream
+//	POST   /v1/jobs/{id}/replan    ReplanRequest              → 202 JobStatus
+//	POST   /v1/jobs/{id}/telemetry []telemetry.Reading        → 200 TelemetryAck
+//	GET    /v1/jobs/{id}/events    plan-update log (?since=N, ?wait=30s
+//	                               long-polls for events past N) → 200 []PlanEvent
+//	GET    /v1/stats               server + warm-cache stats  → 200 ServerStats
+//	GET    /healthz                liveness                   → 200
 //
-// Error mapping: 400 malformed spec, 404 unknown job, 409 artifact not ready,
-// 429 + Retry-After queue full, 503 draining.
+// Every non-2xx response carries the versioned error envelope
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": ...}}
+//
+// with a stable machine-readable code per typed error. The mapping (and the
+// HTTP status it rides on):
+//
+//	queue_full  429 + Retry-After   ErrQueueFull   retry_after_ms set
+//	draining    503                 ErrDraining
+//	not_found   404                 ErrNotFound
+//	not_done    409                 ErrNotDone     artifact not ready
+//	oom         422                 ErrOOM         planning failed: model too big
+//	no_strategy 422                 ErrNoStrategy  planning failed: search came up empty
+//	bad_request 400                 anything else (malformed spec, bad params)
+//
+// Codes are append-only: clients switch on code, never on message text, and
+// service.Client turns codes back into the sentinel errors so errors.Is holds
+// across the wire.
 
-// httpError is the wire form of every non-2xx response.
-type httpError struct {
-	Error string `json:"error"`
+// Error-envelope codes. Append-only; clients key behavior off these.
+const (
+	CodeQueueFull  = "queue_full"
+	CodeDraining   = "draining"
+	CodeNotFound   = "not_found"
+	CodeNotDone    = "not_done"
+	CodeOOM        = "oom"
+	CodeNoStrategy = "no_strategy"
+	CodeBadRequest = "bad_request"
+)
+
+// errorEnvelope is the wire form of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS is set with code queue_full: the server's suggested
+	// backoff, mirroring the Retry-After header at millisecond grain.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// codeOf maps a typed service error onto its stable envelope code and HTTP
+// status. Order matters where errors wrap each other (a failed job's artifact
+// error is ErrNotDone wrapping the planning cause — the cause's code wins, so
+// clients see why it failed, while errors.Is still matches both client-side).
+func codeOf(err error) (string, int) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return CodeQueueFull, http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return CodeDraining, http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound, http.StatusNotFound
+	case errors.Is(err, ErrOOM):
+		return CodeOOM, http.StatusUnprocessableEntity
+	case errors.Is(err, ErrNoStrategy):
+		return CodeNoStrategy, http.StatusUnprocessableEntity
+	case errors.Is(err, ErrNotDone):
+		return CodeNotDone, http.StatusConflict
+	default:
+		return CodeBadRequest, http.StatusBadRequest
+	}
 }
 
 // maxSpecBytes bounds a submitted job payload (serialized graphs included).
@@ -45,6 +107,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/replan", s.handleReplan)
+	mux.HandleFunc("POST /v1/jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -60,21 +124,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps the service's typed errors onto HTTP statuses.
+// writeError renders a typed service error as the versioned envelope.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, ErrQueueFull):
+	code, status := codeOf(err)
+	body := errorBody{Code: code, Message: err.Error()}
+	if code == CodeQueueFull {
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Round(time.Second)/time.Second)))
-		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrNotDone):
-		status = http.StatusConflict
+		body.RetryAfterMS = s.cfg.RetryAfter.Milliseconds()
 	}
-	writeJSON(w, status, httpError{Error: err.Error()})
+	writeJSON(w, status, errorEnvelope{Error: body})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -171,6 +229,59 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	var readings []telemetry.Reading
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&readings); err != nil {
+		s.writeError(w, fmt.Errorf("decode telemetry readings: %w", err))
+		return
+	}
+	ack, err := s.PushTelemetry(r.PathValue("id"), readings)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var since uint64
+	if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+		n, err := strconv.ParseUint(sinceStr, 10, 64)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("bad since %q: %w", sinceStr, err))
+			return
+		}
+		since = n
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("bad wait duration %q: %w", waitStr, err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		evs, err := s.WaitEvents(ctx, id, since)
+		// A fired long-poll deadline is not an error: the empty slice tells
+		// the client nothing happened yet, poll again from the same seq.
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, evs)
+		return
+	}
+	evs, err := s.Events(id, since)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evs)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

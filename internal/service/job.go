@@ -41,14 +41,19 @@ type job struct {
 	id       string
 	spec     cli.Spec
 	replanOf string // source job ID for replan jobs ("" for plain plans)
+	auto     bool   // true for replans fired by the telemetry monitor
 
 	// Resolved at admission so a malformed spec is rejected before queueing.
 	graph   *graph.Graph
 	cluster *cluster.Cluster
 	warmKey evalcache.Key
 
-	state     JobState
-	err       string
+	state JobState
+	err   string
+	// failure keeps the typed planning error (heterog.ErrOOM,
+	// heterog.ErrNoStrategy, ...) so artifact requests against a failed job
+	// can surface it through the error envelope with its stable code.
+	failure   error
 	runner    *heterog.Runner
 	report    *PlanReport
 	submitted time.Time
@@ -56,6 +61,9 @@ type job struct {
 	finished  time.Time
 	cancel    context.CancelFunc
 	done      chan struct{}
+	// mon is the telemetry monitor, created lazily by the first
+	// PushTelemetry once the job is done (nil until then).
+	mon *monitor
 }
 
 // WarmStats reports the warm-cache set a job planned through.
@@ -78,7 +86,9 @@ type JobStatus struct {
 	Cluster  string   `json:"cluster"`
 	Devices  int      `json:"devices"`
 	ReplanOf string   `json:"replan_of,omitempty"`
-	Error    string   `json:"error,omitempty"`
+	// Auto marks replans fired by the telemetry monitor rather than a client.
+	Auto  bool   `json:"auto,omitempty"`
+	Error string `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -146,6 +156,10 @@ type ServerStats struct {
 	// Pruning aggregates the cold-path pruning counters (bounds tried, sims
 	// aborted, candidates halved, time saved) across every completed job.
 	Pruning core.PruneReport `json:"pruning"`
+
+	// Telemetry aggregates the online replanning loop: observations folded,
+	// drift episodes detected, automatic replans and their outcomes.
+	Telemetry TelemetryStats `json:"telemetry"`
 
 	WarmSets []WarmSetStats `json:"warm_sets"`
 }

@@ -36,7 +36,10 @@ import (
 	"heterog/internal/graph"
 )
 
-// Typed admission errors, surfaced by Submit and mapped to HTTP statuses.
+// Typed service errors, surfaced by the in-process API and carried over the
+// wire by the /v1 error envelope: every non-2xx HTTP response encodes one of
+// these as a stable string code, and Client decodes the code back into the
+// same sentinel — errors.Is round-trips across the HTTP boundary.
 var (
 	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
 	ErrQueueFull = errors.New("service: job queue full")
@@ -48,6 +51,12 @@ var (
 	// ErrNotDone: the job has not finished successfully, so the requested
 	// artifact does not exist (HTTP 409).
 	ErrNotDone = errors.New("service: job not done")
+	// ErrOOM aliases heterog.ErrOOM: the job's best plan overflows device
+	// memory (HTTP 422, attached to failed-job artifact requests).
+	ErrOOM = heterog.ErrOOM
+	// ErrNoStrategy aliases heterog.ErrNoStrategy: strategy search produced
+	// no evaluable plan at all (HTTP 422, like ErrOOM).
+	ErrNoStrategy = heterog.ErrNoStrategy
 )
 
 // Config sizes the server. The zero value selects every default.
@@ -122,6 +131,9 @@ type Server struct {
 	// produced a pipeline report; failed and canceled jobs do not
 	// contribute (their runner never materialized).
 	pruning core.PruneReport
+	// telemetry accumulates the online-replanning loop counters across every
+	// job monitor.
+	telemetry TelemetryStats
 
 	workers   sync.WaitGroup
 	closeOnce sync.Once
@@ -411,9 +423,11 @@ func (s *Server) run(j *job) {
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = JobFailed
 		j.err = fmt.Sprintf("timed out after %s", s.cfg.JobTimeout)
+		j.failure = err
 	default:
 		j.state = JobFailed
 		j.err = err.Error()
+		j.failure = err
 	}
 	close(j.done)
 }
@@ -442,6 +456,9 @@ func planOptions(spec *cli.Spec) []heterog.Option {
 	if spec.Exact {
 		opts = append(opts, heterog.WithPruning(false), heterog.WithHalving(false))
 	}
+	if spec.Telemetry != nil {
+		opts = append(opts, heterog.WithTelemetryThresholds(*spec.Telemetry))
+	}
 	return opts
 }
 
@@ -463,7 +480,7 @@ func (s *Server) plan(ctx context.Context, j *job) error {
 		if src == nil || src.runner == nil {
 			return fmt.Errorf("service: replan source %s no longer available", j.replanOf)
 		}
-		runner, err = src.runner.ReplanWithOptions(j.cluster, opts...)
+		runner, err = src.runner.Replan(j.cluster, opts...)
 	} else {
 		model := func() (*graph.Graph, error) { return j.graph, nil }
 		input := func() (int, error) { return j.graph.BatchSize, nil }
@@ -531,6 +548,7 @@ func (s *Server) statusLocked(j *job) *JobStatus {
 		Cluster:     j.cluster.Name,
 		Devices:     j.cluster.NumDevices(),
 		ReplanOf:    j.replanOf,
+		Auto:        j.auto,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
 	}
@@ -602,9 +620,19 @@ func (s *Server) Report(id string) (*PlanReport, error) {
 		return nil, ErrNotFound
 	}
 	if j.state != JobDone || j.report == nil {
-		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.state)
+		return nil, notDoneLocked(j)
 	}
 	return j.report, nil
+}
+
+// notDoneLocked renders the no-artifact error for a job, keeping the typed
+// planning failure (ErrOOM, ErrNoStrategy, ...) in the wrap chain for failed
+// jobs so the error envelope can carry its stable code. Callers hold s.mu.
+func notDoneLocked(j *job) error {
+	if j.state == JobFailed && j.failure != nil {
+		return fmt.Errorf("%w: %s failed: %w", ErrNotDone, j.id, j.failure)
+	}
+	return fmt.Errorf("%w: %s is %s", ErrNotDone, j.id, j.state)
 }
 
 // runnerOf returns a finished job's runner (for trace rendering).
@@ -616,7 +644,7 @@ func (s *Server) runnerOf(id string) (*heterog.Runner, error) {
 		return nil, ErrNotFound
 	}
 	if j.state != JobDone || j.runner == nil {
-		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.state)
+		return nil, notDoneLocked(j)
 	}
 	return j.runner, nil
 }
@@ -659,6 +687,7 @@ func (s *Server) Stats() *ServerStats {
 		Accepted:   s.accepted,
 		Rejected:   s.rejected,
 		Pruning:    s.pruning,
+		Telemetry:  s.telemetry,
 	}
 	for _, j := range s.jobs {
 		switch j.state {

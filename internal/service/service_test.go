@@ -170,11 +170,12 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if apiErr.RetryAfter != 3*time.Second {
 		t.Fatalf("Retry-After = %v, want 3s", apiErr.RetryAfter)
 	}
-	if !errors.Is(errFromAPI(apiErr), ErrQueueFull) {
-		// The wire message must identify the condition for non-Go clients.
-		if !strings.Contains(apiErr.Message, "queue full") {
-			t.Fatalf("429 message %q does not mention queue full", apiErr.Message)
-		}
+	if apiErr.Code != CodeQueueFull {
+		// The stable code is what non-Go clients key off.
+		t.Fatalf("envelope code = %q, want %q", apiErr.Code, CodeQueueFull)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("429 must round-trip to ErrQueueFull via the envelope, got %v", err)
 	}
 
 	close(release)
@@ -186,14 +187,6 @@ func TestQueueFullBackpressure(t *testing.T) {
 	if st := srv.Stats(); st.Rejected != 1 || st.Accepted != 2 {
 		t.Fatalf("stats accepted/rejected = %d/%d, want 2/1", st.Accepted, st.Rejected)
 	}
-}
-
-// errFromAPI maps a wire error message back onto the sentinel, best effort.
-func errFromAPI(e *APIError) error {
-	if strings.Contains(e.Message, ErrQueueFull.Error()) {
-		return ErrQueueFull
-	}
-	return e
 }
 
 // waitState polls in-process until the job reaches the wanted state.

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+
+	"heterog/internal/cluster"
+)
+
+// Regime names one synthetic drift condition the generator can hold a
+// cluster in.
+type Regime string
+
+const (
+	// Healthy emits nominal readings plus measurement noise.
+	Healthy Regime = "healthy"
+	// Throttle ramps the most powerful devices' compute slowdown toward
+	// ThrottleSlowdown — the thermal-throttling story: the hottest (fastest)
+	// cards clock down first.
+	Throttle Regime = "throttle"
+	// Congestion ramps every cross-server link's bandwidth factor toward
+	// CongestionFactor, modeling co-located traffic on the NICs.
+	Congestion Regime = "congestion"
+	// Recovery ramps every perturbed metric back toward nominal.
+	Recovery Regime = "recovery"
+)
+
+// Phase is one leg of a drift schedule: hold a regime for Ticks steps.
+type Phase struct {
+	Regime Regime `json:"regime"`
+	Ticks  int    `json:"ticks"`
+}
+
+// GenConfig configures a synthetic drift trace. Zero knobs take the default
+// written next to them.
+type GenConfig struct {
+	// Seed drives every random draw; identical seeds on the same cluster
+	// yield bit-identical traces.
+	Seed int64 `json:"seed"`
+	// Noise is the multiplicative measurement jitter amplitude: each emitted
+	// reading is the true value scaled by a uniform draw from
+	// [1-Noise, 1+Noise] (default 0.03).
+	Noise float64 `json:"noise,omitempty"`
+	// Ramp is how many ticks a phase takes to move current values linearly
+	// onto its targets (default 4) — drift is gradual, not a step.
+	Ramp int `json:"ramp,omitempty"`
+	// ThrottleSlowdown is the throttle regime's target compute-time
+	// multiplier for the affected devices (default 2.5).
+	ThrottleSlowdown float64 `json:"throttle_slowdown,omitempty"`
+	// ThrottleFraction is the fraction of devices throttled, the most
+	// powerful first (default 0.25, at least one device).
+	ThrottleFraction float64 `json:"throttle_fraction,omitempty"`
+	// CongestionFactor is the congestion regime's target remaining-bandwidth
+	// fraction on cross-server links (default 0.45).
+	CongestionFactor float64 `json:"congestion_factor,omitempty"`
+	// Phases is the schedule; empty selects DefaultPhases().
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// DefaultPhases is the stock exhibit schedule: settle healthy, throttle the
+// big cards long enough for detection and replanning, then recover.
+func DefaultPhases() []Phase {
+	return []Phase{
+		{Healthy, 5},
+		{Throttle, 25},
+		{Recovery, 25},
+	}
+}
+
+func (cfg GenConfig) normalize() GenConfig {
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.03
+	}
+	if cfg.Ramp <= 0 {
+		cfg.Ramp = 4
+	}
+	if cfg.ThrottleSlowdown == 0 {
+		cfg.ThrottleSlowdown = 2.5
+	}
+	if cfg.ThrottleFraction == 0 {
+		cfg.ThrottleFraction = 0.25
+	}
+	if cfg.CongestionFactor == 0 {
+		cfg.CongestionFactor = 0.45
+	}
+	if len(cfg.Phases) == 0 {
+		cfg.Phases = DefaultPhases()
+	}
+	return cfg
+}
+
+// Generator produces a deterministic synthetic drift trace for one cluster:
+// call Step until Done, feeding each batch of readings to a watcher (or the
+// planning service's telemetry endpoint).
+type Generator struct {
+	c   *cluster.Cluster
+	cfg GenConfig
+	rng *rand.Rand
+
+	phase     int // index into cfg.Phases
+	phaseTick int // ticks consumed inside the current phase
+	tick      int // global tick counter
+
+	throttled []int // device IDs the throttle regime affects
+	crossIdx  []int // indices of cross-server links
+
+	slowCur, slowTarget []float64 // per device
+	linkCur, linkTarget []float64 // per link
+}
+
+// NewGenerator builds a generator for the cluster. The throttled device set
+// is the top ThrottleFraction of devices by relative power (ties by ID), so
+// the drift hits exactly the devices a proportional plan leans on hardest.
+func NewGenerator(c *cluster.Cluster, cfg GenConfig) *Generator {
+	cfg = cfg.normalize()
+	g := &Generator{
+		c:          c,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		slowCur:    ones(c.NumDevices()),
+		slowTarget: ones(c.NumDevices()),
+		linkCur:    ones(c.NumLinks()),
+		linkTarget: ones(c.NumLinks()),
+	}
+	byPower := make([]int, c.NumDevices())
+	for i := range byPower {
+		byPower[i] = i
+	}
+	sort.SliceStable(byPower, func(a, b int) bool {
+		pa, pb := c.Devices[byPower[a]].Model.Power, c.Devices[byPower[b]].Model.Power
+		if pa != pb {
+			return pa > pb
+		}
+		return byPower[a] < byPower[b]
+	})
+	n := int(float64(c.NumDevices())*cfg.ThrottleFraction + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	g.throttled = append(g.throttled, byPower[:n]...)
+	sort.Ints(g.throttled)
+	for _, l := range c.Links {
+		if !l.SameServer {
+			g.crossIdx = append(g.crossIdx, l.Index)
+		}
+	}
+	g.enterPhase()
+	return g
+}
+
+// enterPhase sets the targets of the current phase. Throttle and Congestion
+// each own one dimension and leave the other untouched, so schedules can
+// stack them; Recovery (and Healthy) reset both.
+func (g *Generator) enterPhase() {
+	if g.phase >= len(g.cfg.Phases) {
+		return
+	}
+	switch g.cfg.Phases[g.phase].Regime {
+	case Throttle:
+		for _, d := range g.throttled {
+			g.slowTarget[d] = g.cfg.ThrottleSlowdown
+		}
+	case Congestion:
+		for _, i := range g.crossIdx {
+			g.linkTarget[i] = g.cfg.CongestionFactor
+		}
+	case Healthy, Recovery:
+		for d := range g.slowTarget {
+			g.slowTarget[d] = 1
+		}
+		for i := range g.linkTarget {
+			g.linkTarget[i] = 1
+		}
+	}
+}
+
+// Done reports whether the schedule is exhausted.
+func (g *Generator) Done() bool { return g.phase >= len(g.cfg.Phases) }
+
+// Tick returns the number of Step calls made so far.
+func (g *Generator) Tick() int { return g.tick }
+
+// Regime returns the current phase's regime ("" once Done).
+func (g *Generator) Regime() Regime {
+	if g.Done() {
+		return ""
+	}
+	return g.cfg.Phases[g.phase].Regime
+}
+
+// Throttled returns the device IDs the throttle regime targets.
+func (g *Generator) Throttled() []int { return append([]int(nil), g.throttled...) }
+
+// approach moves cur one ramp step toward target.
+func (g *Generator) approach(cur, target float64) float64 {
+	step := (target - cur) / float64(g.cfg.Ramp)
+	next := cur + step
+	// Snap when within a ramp step, so targets are reached exactly.
+	if (step >= 0 && next > target) || (step < 0 && next < target) {
+		next = target
+	}
+	if absf(next-target) < 1e-9 {
+		next = target
+	}
+	return next
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// jitter scales v by the multiplicative measurement noise.
+func (g *Generator) jitter(v float64) float64 {
+	return v * (1 + g.cfg.Noise*(2*g.rng.Float64()-1))
+}
+
+// Step advances one tick and returns the tick's noisy readings: one device
+// reading per device and one link reading per cross-server link. It returns
+// nil once the schedule is exhausted.
+func (g *Generator) Step() []Reading {
+	if g.Done() {
+		return nil
+	}
+	// Advance true state toward the phase targets, then sample readings.
+	for d := range g.slowCur {
+		g.slowCur[d] = g.approach(g.slowCur[d], g.slowTarget[d])
+	}
+	for i := range g.linkCur {
+		g.linkCur[i] = g.approach(g.linkCur[i], g.linkTarget[i])
+	}
+	out := make([]Reading, 0, len(g.slowCur)+len(g.crossIdx))
+	for d := range g.slowCur {
+		s := g.jitter(g.slowCur[d])
+		if s < 1 {
+			s = 1
+		}
+		out = append(out, Reading{Device: &DeviceReading{ID: d, Slowdown: s}})
+	}
+	for _, i := range g.crossIdx {
+		f := g.jitter(g.linkCur[i])
+		if f > 1 {
+			f = 1
+		}
+		if f <= 0 {
+			f = 0.01
+		}
+		l := g.c.Links[i]
+		out = append(out, Reading{Link: &LinkReading{Src: l.Src, Dst: l.Dst, BandwidthFactor: f}})
+	}
+	g.tick++
+	g.phaseTick++
+	if g.phaseTick >= g.cfg.Phases[g.phase].Ticks {
+		g.phase++
+		g.phaseTick = 0
+		g.enterPhase()
+	}
+	return out
+}
