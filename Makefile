@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-robust bench-pipeline bench-serve bench-replan
+.PHONY: check vet lint build test race bench bench-robust bench-pipeline bench-serve bench-replan bench-fleet
 
 # check is the tier-1 verification entry point: static analysis, build, the
 # full test suite, and the race detector over the concurrency-sensitive
@@ -35,7 +35,7 @@ test:
 # under -race multiplies the RL/experiment test time ~10x for no extra
 # coverage, so it is scoped deliberately.
 race:
-	$(GO) test -race ./internal/agent/... ./internal/evalcache/... ./internal/core/... ./internal/sim/... ./internal/faults/... ./internal/service/... ./internal/telemetry/...
+	$(GO) test -race ./internal/agent/... ./internal/cluster/... ./internal/evalcache/... ./internal/core/... ./internal/fleet/... ./internal/sim/... ./internal/faults/... ./internal/service/... ./internal/telemetry/...
 
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json.
@@ -67,3 +67,10 @@ bench-serve:
 # warm-set counters proving replans reattach to shared caches.
 bench-replan:
 	$(GO) run ./cmd/heterog-serve -driftbench -out BENCH_replan.json
+
+# bench-fleet regenerates the fleet-scheduling exhibit recorded in
+# BENCH_fleet.json: four concurrent jobs leased slices of one Testbed64 by
+# the fleet allocator vs the same jobs run one at a time on the whole fleet.
+# Exits non-zero when the aggregate speedup drops below the threshold.
+bench-fleet:
+	$(GO) run ./cmd/heterog-serve -fleetbench -out BENCH_fleet.json

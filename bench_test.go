@@ -293,7 +293,7 @@ func benchEvaluator(b *testing.B) *core.Evaluator {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed4().FullView(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func benchEvaluator64(b *testing.B) *core.Evaluator {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed64(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed64().FullView(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -505,7 +505,7 @@ func BenchmarkRunEpisodes64Pruned(b *testing.B) {
 func BenchmarkSimReuse(b *testing.B) {
 	ev := benchEvaluator(b)
 	s := benchStrategy(b, ev)
-	dg, err := plan.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	dg, err := plan.CompileIter(ev.Graph, ev.Cluster.Cluster, s, ev.Cost, 3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -528,7 +528,7 @@ func BenchmarkSimReuse(b *testing.B) {
 func BenchmarkSimPooledRun(b *testing.B) {
 	ev := benchEvaluator(b)
 	s := benchStrategy(b, ev)
-	dg, err := plan.CompileIter(ev.Graph, ev.Cluster, s, ev.Cost, 3)
+	dg, err := plan.CompileIter(ev.Graph, ev.Cluster.Cluster, s, ev.Cost, 3)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -53,13 +53,14 @@ func main() {
 	fmt.Printf("model %s  batch %d  ops %d  edges %d  params %.1f MB  flops %.1f G\n",
 		g.Name, g.BatchSize, st.Ops, st.Edges, float64(st.ParamBytes)/(1<<20), st.TotalFLOPs/1e9)
 
-	ev, err := core.NewEvaluator(g, c, spec.Seed)
+	cv := c.FullView()
+	ev, err := core.NewEvaluator(g, cv, spec.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var scenarios []*faults.Scenario
 	if spec.FaultK > 0 {
-		scenarios = faults.Generate(c, faults.DefaultModel(spec.FaultK, spec.FaultSeed))
+		scenarios = faults.Generate(cv, faults.DefaultModel(spec.FaultK, spec.FaultSeed))
 		if spec.Robust {
 			// Enable before planning: search optimizes the blended
 			// nominal/worst-case objective.

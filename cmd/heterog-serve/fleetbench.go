@@ -1,0 +1,246 @@
+package main
+
+// The fleet-scheduling exhibit behind `make bench-fleet`: N concurrent jobs
+// on one Testbed64 fleet, planned through the fleet allocator's leases,
+// against the naive baseline of running the same jobs one at a time on the
+// whole fleet. The comparison is in simulated training time per iteration:
+//
+//	fleet:      the jobs train concurrently on disjoint leases, so one
+//	            iteration of all N jobs costs max_i perIter(lease_i)
+//	sequential: the whole fleet time-slices between jobs, so one iteration
+//	            of all N jobs costs sum_i perIter(full fleet)
+//
+// Heterogeneous fleets scale sublinearly (the NIC aggregation floor grows
+// with the server count), so a job on a quarter of the fleet runs at well
+// over a quarter of full-fleet speed — partitioning wins. The aggregate
+// speedup (sequential / fleet) must clear -fleet-threshold or the run exits
+// non-zero, which is how CI pins the win down.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/cluster"
+	"heterog/internal/service"
+)
+
+// fleetBenchJob is one workload's line in the exhibit.
+type fleetBenchJob struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+	// GPUCap is the lease-size cap the job submitted with.
+	GPUCap int `json:"gpu_cap"`
+	// Lease identifies the granted lease and its canonical shape.
+	Lease        string `json:"lease"`
+	LeaseShape   string `json:"lease_shape"`
+	LeaseDevices int    `json:"lease_devices"`
+	// LeasePerIterSec is the planned per-iteration time on the lease;
+	// FullPerIterSec the same workload planned on the whole fleet.
+	LeasePerIterSec float64 `json:"lease_per_iter_sec"`
+	FullPerIterSec  float64 `json:"full_per_iter_sec"`
+	// PlanSec are the wall-clock planning times for both runs.
+	LeasePlanSec float64 `json:"lease_plan_sec"`
+	FullPlanSec  float64 `json:"full_plan_sec"`
+}
+
+// fleetBenchOutput is the BENCH_fleet.json schema.
+type fleetBenchOutput struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// Fleet names the shared cluster; FleetDevices its size.
+	Fleet        string          `json:"fleet"`
+	FleetDevices int             `json:"fleet_devices"`
+	Jobs         []fleetBenchJob `json:"jobs"`
+	// FleetPerIterSec is one concurrent iteration of every job on its lease
+	// (the max); SequentialPerIterSec one time-sliced iteration of every job
+	// on the whole fleet (the sum).
+	FleetPerIterSec      float64 `json:"fleet_per_iter_sec"`
+	SequentialPerIterSec float64 `json:"sequential_per_iter_sec"`
+	// AggregateSpeedup = SequentialPerIterSec / FleetPerIterSec.
+	AggregateSpeedup float64 `json:"aggregate_speedup"`
+	Threshold        float64 `json:"threshold"`
+	Pass             bool    `json:"pass"`
+}
+
+// fleetBenchSpecs is the concurrent workload mix: four zoo models, each
+// capped to a quarter of Testbed64 so the allocator partitions cleanly.
+func fleetBenchSpecs() []cli.Spec {
+	return []cli.Spec{
+		{Model: "vgg19", Batch: 64, Seed: 1, Episodes: 1, GPUs: 16},
+		{Model: "resnet200", Batch: 64, Seed: 1, Episodes: 1, GPUs: 16},
+		{Model: "inception_v3", Batch: 64, Seed: 1, Episodes: 1, GPUs: 16},
+		{Model: "mobilenet_v2", Batch: 64, Seed: 1, Episodes: 1, GPUs: 16},
+	}
+}
+
+// startServer brings up an in-process service on a loopback port.
+func startServer(cfg service.Config) (*service.Server, *service.Client, func(), error) {
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Close()
+		return nil, nil, nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	stop := func() {
+		_ = httpSrv.Close()
+		_ = srv.Close()
+	}
+	return srv, service.NewClient("http://" + ln.Addr().String()), stop, nil
+}
+
+// runFleetBench measures the fleet allocator against the sequential
+// whole-fleet baseline and writes BENCH_fleet.json. A speedup below the
+// threshold returns an error (non-zero exit) so CI hard-fails on regression.
+func runFleetBench(cfg service.Config, out string, threshold float64) error {
+	ctx := context.Background()
+	specs := fleetBenchSpecs()
+	jobs := make([]fleetBenchJob, len(specs))
+
+	// Phase 1: all jobs at once on one fleet, leases granted by the
+	// allocator. Submissions race deliberately — admission order only
+	// changes which physical servers each job gets, not the partition sizes.
+	fleetCfg := cfg
+	fleetCfg.Fleet = cluster.Testbed64()
+	fleetCfg.JobTimeout = 10 * time.Minute
+	_, client, stop, err := startServer(fleetCfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleetbench: %d concurrent jobs on %s (%d devices)",
+		len(specs), fleetCfg.Fleet.Name, fleetCfg.Fleet.NumDevices())
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp cli.Spec) {
+			defer wg.Done()
+			st, err := client.Submit(ctx, sp)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet submit %s: %w", sp.Model, err)
+				return
+			}
+			final, err := client.Wait(ctx, st.ID, 30*time.Second)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet wait %s: %w", sp.Model, err)
+				return
+			}
+			if final.State != service.JobDone {
+				errs[i] = fmt.Errorf("fleet job %s ended %s: %s", sp.Model, final.State, final.Error)
+				return
+			}
+			rep, err := client.Report(ctx, st.ID)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet report %s: %w", sp.Model, err)
+				return
+			}
+			evs, err := client.Events(ctx, st.ID, 0, 0)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet events %s: %w", sp.Model, err)
+				return
+			}
+			lease := ""
+			for _, ev := range evs {
+				if ev.Lease != "" {
+					lease = ev.Lease
+					break
+				}
+			}
+			jobs[i] = fleetBenchJob{
+				Model: sp.Model, Batch: sp.Batch, GPUCap: sp.GPUs,
+				Lease: lease, LeaseShape: rep.Cluster, LeaseDevices: rep.Devices,
+				LeasePerIterSec: rep.PerIterationSec, LeasePlanSec: rep.PlanSec,
+			}
+		}(i, sp)
+	}
+	wg.Wait()
+	stop()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: the sequential baseline — each job alone on the whole fleet,
+	// one at a time (a single worker makes "one at a time" literal).
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seqCfg.JobTimeout = 10 * time.Minute
+	_, client, stop, err = startServer(seqCfg)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	log.Printf("fleetbench: sequential baseline, each job on the whole fleet")
+	for i, sp := range specs {
+		sp.GPUs = 64
+		st, err := client.Submit(ctx, sp)
+		if err != nil {
+			return fmt.Errorf("baseline submit %s: %w", sp.Model, err)
+		}
+		final, err := client.Wait(ctx, st.ID, 30*time.Second)
+		if err != nil {
+			return fmt.Errorf("baseline wait %s: %w", sp.Model, err)
+		}
+		if final.State != service.JobDone {
+			return fmt.Errorf("baseline job %s ended %s: %s", sp.Model, final.State, final.Error)
+		}
+		rep, err := client.Report(ctx, st.ID)
+		if err != nil {
+			return fmt.Errorf("baseline report %s: %w", sp.Model, err)
+		}
+		jobs[i].FullPerIterSec = rep.PerIterationSec
+		jobs[i].FullPlanSec = rep.PlanSec
+	}
+
+	var fleetIter, seqIter float64
+	for _, j := range jobs {
+		if j.LeasePerIterSec > fleetIter {
+			fleetIter = j.LeasePerIterSec
+		}
+		seqIter += j.FullPerIterSec
+	}
+	speedup := seqIter / fleetIter
+	bench := fleetBenchOutput{
+		GeneratedAt:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:            runtime.Version(),
+		Fleet:                fleetCfg.Fleet.Name,
+		FleetDevices:         fleetCfg.Fleet.NumDevices(),
+		Jobs:                 jobs,
+		FleetPerIterSec:      fleetIter,
+		SequentialPerIterSec: seqIter,
+		AggregateSpeedup:     speedup,
+		Threshold:            threshold,
+		Pass:                 speedup >= threshold,
+	}
+
+	for _, j := range jobs {
+		log.Printf("  %-13s lease %s %-34s %2d dev  %.4fs/iter  (full fleet %.4fs/iter)",
+			j.Model, j.Lease, j.LeaseShape, j.LeaseDevices, j.LeasePerIterSec, j.FullPerIterSec)
+	}
+	log.Printf("fleetbench: fleet %.4fs/iter (max) vs sequential %.4fs/iter (sum): aggregate speedup %.2fx (threshold %.2fx)",
+		fleetIter, seqIter, speedup, threshold)
+
+	raw, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("fleetbench: wrote %s", out)
+	if !bench.Pass {
+		return fmt.Errorf("fleetbench: aggregate speedup %.2fx below threshold %.2fx", speedup, threshold)
+	}
+	return nil
+}

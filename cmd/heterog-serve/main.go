@@ -17,6 +17,13 @@
 // synthetic drift trace through POST /v1/jobs/{id}/telemetry, and writes the
 // online-replanning exhibit consumed by `make bench-replan`: every detected
 // drift episode, the automatic replan it fired, and the warm-cache counters.
+//
+// With -fleet-gpus the daemon runs in fleet mode: it owns one testbed and
+// the fleet allocator leases slices of it to submitted jobs (specs then omit
+// cluster fields; gpus caps the lease size). With -fleetbench it measures
+// that allocator against the sequential whole-fleet baseline and writes the
+// exhibit consumed by `make bench-fleet`, exiting non-zero when the
+// aggregate speedup falls below -fleet-threshold.
 package main
 
 import (
@@ -57,6 +64,9 @@ func main() {
 	levels := flag.String("levels", "1,2,4,8", "loadgen: comma-separated client concurrency levels")
 	driftbench := flag.Bool("driftbench", false, "run the telemetry-driven replanning exhibit against an in-process server and exit")
 	driftSeed := flag.Int64("drift-seed", 7, "driftbench: drift-trace seed (same seed = identical trace)")
+	fleetGPUs := flag.Int("fleet-gpus", 0, "fleet mode: the server owns this testbed (4, 8, 12 or 64 GPUs) and leases slices of it to jobs; 0 = classic mode (each job brings its own cluster)")
+	fleetbench := flag.Bool("fleetbench", false, "run the fleet-scheduling exhibit (concurrent jobs on one Testbed64 vs sequential whole-fleet baseline) and exit")
+	fleetThreshold := flag.Float64("fleet-threshold", 1.5, "fleetbench: minimum aggregate speedup over the sequential baseline; below it the run exits non-zero")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -66,6 +76,13 @@ func main() {
 		EvalCacheEntries:    *evalCap,
 		LoweredCacheEntries: *loweredCap,
 		MaxWarmSets:         *warmSets,
+	}
+	if *fleetGPUs != 0 {
+		fc, err := (&cli.Spec{GPUs: *fleetGPUs}).BuildCluster()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Fleet = fc
 	}
 
 	if *pprofAddr != "" {
@@ -94,6 +111,17 @@ func main() {
 		return
 	}
 
+	if *fleetbench {
+		fbOut := *out
+		if fbOut == "BENCH_serve.json" {
+			fbOut = "BENCH_fleet.json"
+		}
+		if err := runFleetBench(service.Config{Workers: *workers}, fbOut, *fleetThreshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -101,8 +129,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("heterog-serve listening on %s (%d workers, queue %d)",
-		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+	mode := "classic mode"
+	if cfg.Fleet != nil {
+		mode = fmt.Sprintf("fleet mode: %s, %d devices", cfg.Fleet.Name, cfg.Fleet.NumDevices())
+	}
+	log.Printf("heterog-serve listening on %s (%d workers, queue %d, %s)",
+		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth, mode)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

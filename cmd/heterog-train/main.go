@@ -42,7 +42,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ev, err := core.NewEvaluator(g, c, spec.Seed)
+		ev, err := core.NewEvaluator(g, c.FullView(), spec.Seed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -59,14 +59,15 @@ func main() {
 	// The cluster actually degrades: apply the worst scenario. Generation
 	// is deterministic in the seed, so this reproduces exactly the scenario
 	// the report named.
-	scs := faults.Generate(devices, faults.DefaultModel(scenarios, faultSeed))
+	dv := devices.FullView()
+	scs := faults.Generate(dv, faults.DefaultModel(scenarios, faultSeed))
 	worst := scs[0]
 	for _, sc := range scs {
 		if sc.Name == rr.WorstScenario {
 			worst = sc
 		}
 	}
-	degraded := worst.Apply(devices)
+	degraded := worst.Apply(dv)
 	fmt.Printf("cluster degrades: %s\n\n", worst.Name)
 
 	// Reaction 1: keep running the stale nominal plan.
@@ -79,7 +80,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// Reaction 2: replan on the degraded cluster with the warm agent.
-	replanned, err := naive.Replan(degraded)
+	replanned, err := naive.ReplanView(degraded)
 	if err != nil {
 		log.Fatal(err)
 	}

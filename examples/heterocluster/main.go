@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, devices, 1)
+	ev, err := core.NewEvaluator(g, devices.FullView(), 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -255,7 +255,13 @@ func (c *Config) apply(s *settings) {
 
 // Runner executes a planned distributed training model.
 type Runner struct {
-	Graph    *graph.Graph
+	Graph *graph.Graph
+	// View is the cluster view the plan was computed against: the whole
+	// cluster wrapped with FullView for GetRunner, or a lease's sub-cluster
+	// view in fleet mode. Cluster is the view's projected cluster (View's
+	// embedded field), kept as its own field for callers that only care
+	// about devices and links.
+	View     *cluster.View
 	Cluster  *cluster.Cluster
 	Plan     *core.Evaluation
 	Strategy *strategy.Strategy
@@ -319,12 +325,43 @@ func GetRunner(model ModelFunc, input InputFunc, devices *DeviceInfo, opts ...Op
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("heterog: invalid model graph: %w", err)
 	}
-	return plan(g, devices, cfg)
+	return plan(g, devices.FullView(), cfg)
+}
+
+// GetRunnerView is GetRunner for a sub-cluster view: plan the model onto a
+// lease's slice of a fleet (or any other projected device subset) instead of
+// a whole cluster. Local device IDs in the resulting plan map back to fleet
+// device IDs through view.FleetID.
+func GetRunnerView(model ModelFunc, input InputFunc, view *cluster.View, opts ...Option) (*Runner, error) {
+	if view == nil || view.NumDevices() == 0 {
+		return nil, fmt.Errorf("heterog: GetRunnerView needs a non-empty view")
+	}
+	cfg := defaultSettings()
+	for _, o := range opts {
+		if o != nil {
+			o.apply(&cfg)
+		}
+	}
+	g, err := model()
+	if err != nil {
+		return nil, fmt.Errorf("heterog: model_func: %w", err)
+	}
+	batch, err := input()
+	if err != nil {
+		return nil, fmt.Errorf("heterog: input_func: %w", err)
+	}
+	if batch > 0 {
+		g.BatchSize = batch
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("heterog: invalid model graph: %w", err)
+	}
+	return plan(g, view, cfg)
 }
 
 // plan runs strategy search for an already-built graph under resolved
-// settings; GetRunner and Replan both land here.
-func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
+// settings; GetRunner, GetRunnerView and Replan all land here.
+func plan(g *graph.Graph, devices *cluster.View, cfg settings) (*Runner, error) {
 	ev, err := core.NewEvaluator(g, devices, cfg.seed)
 	if err != nil {
 		return nil, err
@@ -370,7 +407,7 @@ func plan(g *graph.Graph, devices *DeviceInfo, cfg settings) (*Runner, error) {
 		return nil, fmt.Errorf("%w: %s at batch %d", ErrOOM, g.Name, g.BatchSize)
 	}
 	return &Runner{
-		Graph: g, Cluster: devices, Plan: p, Strategy: p.Strategy,
+		Graph: g, View: devices, Cluster: devices.Cluster, Plan: p, Strategy: p.Strategy,
 		evaluator: ev, agent: ag, cfg: cfg,
 	}, nil
 }
@@ -434,7 +471,7 @@ func (r *Runner) WriteTrace(w io.Writer) error {
 		meta["pass."+ps.Name] = fmt.Sprintf("runs=%d total=%s ops=%d bytes=%d",
 			ps.Runs, ps.Total, ps.Ops, ps.Bytes)
 	}
-	return sim.WriteChromeTraceMeta(w, r.Plan.Dist, r.Plan.Result, meta)
+	return sim.WriteChromeTraceView(w, r.Plan.Dist, r.Plan.Result, r.View, meta)
 }
 
 // Replan re-plans the same model on a changed (typically degraded) cluster —
@@ -456,6 +493,16 @@ func (r *Runner) WriteTrace(w io.Writer) error {
 // wins, so a Replan never does worse than running the stale plan on the
 // degraded cluster. The original Runner is left untouched.
 func (r *Runner) Replan(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
+	if newDevices == nil || newDevices.NumDevices() == 0 {
+		return nil, fmt.Errorf("heterog: replan needs a non-empty device set")
+	}
+	return r.ReplanView(newDevices.FullView(), opts...)
+}
+
+// ReplanView is Replan for a sub-cluster view — the fleet-mode counterpart,
+// used when a lease shrinks, grows or drifts. The same warm-agent reuse and
+// incumbent re-scoring rules apply, keyed on the view's device count.
+func (r *Runner) ReplanView(newDevices *cluster.View, opts ...Option) (*Runner, error) {
 	if newDevices == nil || newDevices.NumDevices() == 0 {
 		return nil, fmt.Errorf("heterog: replan needs a non-empty device set")
 	}
@@ -484,15 +531,6 @@ func (r *Runner) Replan(newDevices *DeviceInfo, opts ...Option) (*Runner, error)
 		}
 	}
 	return nr, nil
-}
-
-// ReplanWithOptions re-plans on a changed cluster with extra Options.
-//
-// Deprecated: Replan is variadic now and accepts the same options directly;
-// this shim survives only so call sites written against the old two-method
-// shape keep compiling. Use Replan.
-func (r *Runner) ReplanWithOptions(newDevices *DeviceInfo, opts ...Option) (*Runner, error) {
-	return r.Replan(newDevices, opts...)
 }
 
 // Evaluate scores an arbitrary strategy on this runner's cluster through its
@@ -543,7 +581,7 @@ func (r *Runner) ScoreFaults(k int, seed int64, blend float64) (*RobustReport, e
 	// scenario tags keeping the keys disjoint.
 	ev := *r.evaluator
 	ev.Robust = nil
-	scs := faults.Generate(r.Cluster, faults.DefaultModel(k, seed))
+	scs := faults.Generate(r.View, faults.DefaultModel(k, seed))
 	if err := ev.EnableRobustness(scs, blend); err != nil {
 		return nil, fmt.Errorf("heterog: %w", err)
 	}

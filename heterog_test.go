@@ -175,12 +175,13 @@ func TestReplanBeatsStalePlanOnDegradedCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Degrade the cluster with the worst of the example's fault scenarios.
-	scs := faults.Generate(devices, faults.DefaultModel(4, 1))
+	dv := devices.FullView()
+	scs := faults.Generate(dv, faults.DefaultModel(4, 1))
 	var worst *faults.Scenario
 	var worstT float64
 	for _, sc := range scs {
-		degraded := sc.Apply(devices)
-		nr, err := runner.Replan(degraded)
+		degraded := sc.Apply(dv)
+		nr, err := runner.ReplanView(degraded)
 		if err != nil {
 			t.Fatalf("replan on %s: %v", sc.Name, err)
 		}
@@ -199,7 +200,7 @@ func TestReplanBeatsStalePlanOnDegradedCluster(t *testing.T) {
 	}
 	// On the worst scenario the warm replan must strictly improve (this is
 	// the bundled examples/faulty outcome).
-	nr, err := runner.Replan(worst.Apply(devices))
+	nr, err := runner.ReplanView(worst.Apply(dv))
 	if err != nil {
 		t.Fatal(err)
 	}

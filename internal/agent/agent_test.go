@@ -17,7 +17,7 @@ func smallEvaluator(t *testing.T) *core.Evaluator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed4().FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestHeuristicCandidatesAreValid(t *testing.T) {
 		t.Fatalf("only %d candidates", len(cands))
 	}
 	for i, cand := range cands {
-		if err := cand.Validate(ev.Cluster); err != nil {
+		if err := cand.Validate(ev.Cluster.Cluster); err != nil {
 			t.Fatalf("candidate %d invalid: %v", i, err)
 		}
 	}
@@ -111,7 +111,7 @@ func TestRunEpisodeProducesValidStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ep.Strategy.Validate(ev.Cluster); err != nil {
+	if err := ep.Strategy.Validate(ev.Cluster.Cluster); err != nil {
 		t.Fatal(err)
 	}
 	if ep.Reward >= 0 {
@@ -168,7 +168,7 @@ func TestPlanFindsFeasibleWhenDPOOMs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed8(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed8().FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func planOnce(t *testing.T, key string, batch int, pruned bool) *core.Evaluation
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed4().FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func toyEvaluator(t *testing.T) *core.Evaluator {
 		cluster.Config{GPUs: 1, Model: fast, NICBandwidth: cluster.Gbps(1), PCIeBandwidth: cluster.Gbps(2)},
 		cluster.Config{GPUs: 1, Model: slow, NICBandwidth: cluster.Gbps(1), PCIeBandwidth: cluster.Gbps(2)},
 	)
-	ev, err := core.NewEvaluator(g, c, 1)
+	ev, err := core.NewEvaluator(g, c.FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

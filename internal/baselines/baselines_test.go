@@ -16,7 +16,7 @@ func evaluatorFor(t *testing.T) *core.Evaluator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ev, err := core.NewEvaluator(g, cluster.Testbed4(), 1)
+	ev, err := core.NewEvaluator(g, cluster.Testbed4().FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,13 +146,8 @@ func (s *Spec) RegisterFaultFlags(fs *flag.FlagSet, defFaults int) {
 
 // Validate checks the spec for structural errors before any expensive work.
 func (s *Spec) Validate() error {
-	switch {
-	case s.Model == "" && len(s.Graph) == 0:
-		return fmt.Errorf("cli: spec needs a model name or a serialized graph")
-	case s.Model != "" && len(s.Graph) > 0:
-		return fmt.Errorf("cli: spec sets both a model name and a serialized graph")
-	case s.Model != "" && s.Batch <= 0:
-		return fmt.Errorf("cli: zoo model %q needs a positive batch size", s.Model)
+	if err := s.ValidateWorkload(); err != nil {
+		return err
 	}
 	if s.Cluster == nil {
 		switch s.GPUs {
@@ -160,6 +155,22 @@ func (s *Spec) Validate() error {
 		default:
 			return fmt.Errorf("cli: unsupported gpus %d (want 4, 8, 12 or 64, or a custom cluster spec)", s.GPUs)
 		}
+	}
+	return nil
+}
+
+// ValidateWorkload checks everything Validate does except the cluster
+// fields. The planning service uses it in fleet mode, where the server owns
+// the cluster and the spec's GPUs field caps the lease size instead of
+// naming a testbed.
+func (s *Spec) ValidateWorkload() error {
+	switch {
+	case s.Model == "" && len(s.Graph) == 0:
+		return fmt.Errorf("cli: spec needs a model name or a serialized graph")
+	case s.Model != "" && len(s.Graph) > 0:
+		return fmt.Errorf("cli: spec sets both a model name and a serialized graph")
+	case s.Model != "" && s.Batch <= 0:
+		return fmt.Errorf("cli: zoo model %q needs a positive batch size", s.Model)
 	}
 	if s.Episodes < 0 {
 		return fmt.Errorf("cli: episodes must be non-negative, got %d", s.Episodes)

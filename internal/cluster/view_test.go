@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomSubset draws k distinct device IDs from the fleet.
+func randomSubset(rng *rand.Rand, fleet *Cluster, k int) []int {
+	ids := rng.Perm(len(fleet.Devices))[:k]
+	sort.Ints(ids)
+	return ids
+}
+
+// TestViewLinksAreInducedSubgraph is the property test behind ViewOf: for
+// random device subsets of the paper testbeds, the view's link set is exactly
+// the induced subgraph of the fleet — one link per ordered pair of selected
+// devices, no dangling endpoints, and every bandwidth/latency (hence every
+// TransferTime) bit-identical to the parent link between the corresponding
+// fleet devices.
+func TestViewLinksAreInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fleets := []*Cluster{Testbed8(), Testbed12(), Testbed64()}
+	const payload = int64(1 << 20)
+
+	for trial := 0; trial < 200; trial++ {
+		fleet := fleets[trial%len(fleets)]
+		k := 1 + rng.Intn(len(fleet.Devices))
+		ids := randomSubset(rng, fleet, k)
+		v, err := fleet.ViewOf(ids...)
+		if err != nil {
+			t.Fatalf("trial %d: ViewOf(%v): %v", trial, ids, err)
+		}
+
+		// Exactly one directed link per ordered pair, nothing more.
+		if want := k * (k - 1); len(v.Links) != want {
+			t.Fatalf("trial %d: %d links for %d devices, want %d", trial, len(v.Links), k, want)
+		}
+		seen := make(map[[2]int]bool, len(v.Links))
+		for _, l := range v.Links {
+			// No dangling endpoints: every Src/Dst is a local device.
+			if l.Src < 0 || l.Src >= k || l.Dst < 0 || l.Dst >= k || l.Src == l.Dst {
+				t.Fatalf("trial %d: link %d endpoints (%d,%d) outside [0,%d)", trial, l.Index, l.Src, l.Dst, k)
+			}
+			if seen[[2]int{l.Src, l.Dst}] {
+				t.Fatalf("trial %d: duplicate link %d->%d", trial, l.Src, l.Dst)
+			}
+			seen[[2]int{l.Src, l.Dst}] = true
+
+			// Induced values: the link must equal the parent fleet's link
+			// between the mapped devices in every physical field.
+			pl, err := fleet.LinkBetween(v.FleetID(l.Src), v.FleetID(l.Dst))
+			if err != nil {
+				t.Fatalf("trial %d: parent link %d->%d: %v", trial, v.FleetID(l.Src), v.FleetID(l.Dst), err)
+			}
+			if l.Bandwidth != pl.Bandwidth || l.Latency != pl.Latency || l.SameServer != pl.SameServer {
+				t.Fatalf("trial %d: link %d->%d = {bw %g lat %g same %v}, parent {bw %g lat %g same %v}",
+					trial, l.Src, l.Dst, l.Bandwidth, l.Latency, l.SameServer,
+					pl.Bandwidth, pl.Latency, pl.SameServer)
+			}
+		}
+
+		// TransferTime is derived from the link fields, so it must be
+		// bit-identical too — the property consumers actually rely on.
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if a == b {
+					continue
+				}
+				got := v.TransferTime(a, b, payload)
+				want := fleet.TransferTime(v.FleetID(a), v.FleetID(b), payload)
+				if got != want {
+					t.Fatalf("trial %d: TransferTime(%d,%d) = %g, parent %g", trial, a, b, got, want)
+				}
+			}
+		}
+
+		// Devices and servers carry over: same model, same hosting server
+		// bandwidths, and the server's device list round-trips.
+		for local, id := range ids {
+			d, pd := v.Devices[local], fleet.Devices[id]
+			if d.Model != pd.Model {
+				t.Fatalf("trial %d: device %d model %q, parent %q", trial, local, d.Model.Name, pd.Model.Name)
+			}
+			s, ps := v.Servers[d.Server], fleet.Servers[pd.Server]
+			if s.NICBandwidth != ps.NICBandwidth || s.PCIeBandwidth != ps.PCIeBandwidth {
+				t.Fatalf("trial %d: server bandwidths differ for device %d", trial, local)
+			}
+		}
+	}
+}
+
+// TestViewOfWholeFleetMatchesFullView checks the degenerate subset: a view of
+// every device is link-for-link the fleet itself (only renamed), and
+// FullView's identity mapping agrees.
+func TestViewOfWholeFleetMatchesFullView(t *testing.T) {
+	fleet := Testbed8()
+	all := make([]int, len(fleet.Devices))
+	for i := range all {
+		all[i] = i
+	}
+	v, err := fleet.ViewOf(all...)
+	if err != nil {
+		t.Fatalf("ViewOf(all): %v", err)
+	}
+	if v.IsFull() {
+		t.Fatal("ViewOf(all) reports IsFull; only FullView uses the identity mapping")
+	}
+	full := fleet.FullView()
+	if !full.IsFull() {
+		t.Fatal("FullView not full")
+	}
+	if len(v.Links) != len(full.Links) {
+		t.Fatalf("links %d vs %d", len(v.Links), len(full.Links))
+	}
+	for i := range v.Links {
+		a, b := full.Links[i], v.Links[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Bandwidth != b.Bandwidth || a.Latency != b.Latency {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range v.Devices {
+		if v.FleetID(i) != full.FleetID(i) {
+			t.Fatalf("device %d maps to %d vs %d", i, v.FleetID(i), full.FleetID(i))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"heterog/internal/compiler"
 	"heterog/internal/graph"
 	"heterog/internal/plan"
+	"heterog/internal/profile"
 	"heterog/internal/strategy"
 )
 
@@ -120,7 +122,7 @@ func (ev *Evaluator) preLowerBound(s *strategy.Strategy) float64 {
 		if op.Kind == graph.KindApplyGradient || op.Kind.IsComm() {
 			continue
 		}
-		fr := ev.bounds.layout(compiler.EffectiveDecision(s, op), ev.Cluster)
+		fr := ev.bounds.layout(compiler.EffectiveDecision(s, op), ev.Cluster.Cluster)
 		for dev, f := range fr {
 			if f > 0 {
 				work[dev] += ev.Cost.OpTime(op, dev, f)
@@ -195,6 +197,75 @@ func (ev *Evaluator) EvaluateFast(s *strategy.Strategy, bound float64) (*Evaluat
 		tb = scoreToTime(bound, ev.Robust != nil)
 	}
 	return fe.evaluateBounded(s, tb, true)
+}
+
+// EstimateLeaseTime is the fleet allocator's cheap per-iteration time
+// estimate for training graph g on the cluster view v: the same machinery as
+// the pre-lowering pruning bound (per-op costs under the proportional
+// data-parallel layout, busiest device = compute floor), combined with an
+// analytic NIC aggregation floor on the cross-server gradient traffic the
+// strategy cannot avoid. No lowering, no simulation, no strategy search —
+// profiling plus two O(ops × devices) scans, so the allocator can score many
+// candidate lease shapes per scheduling decision.
+//
+// The NIC floor matters for allocation quality, not just accuracy: the
+// compute floor alone is linear in aggregate device power, under which greedy
+// marginal-throughput assignment would never stop growing a lease. Gradient
+// aggregation gives throughput its diminishing returns — every extra server
+// adds NIC traffic — and the max(compute, comm) estimate reproduces exactly
+// the tradeoff the paper's planner resolves.
+func EstimateLeaseTime(g *graph.Graph, v *cluster.View, seed int64) (float64, error) {
+	cm, err := profile.Profile(g, v.Cluster, profile.Options{Seed: seed})
+	if err != nil {
+		return 0, fmt.Errorf("core: estimate profile %s on %s: %w", g.Name, v.Name, err)
+	}
+	fr := plan.LayoutFor(strategy.Decision{Kind: strategy.DPPropPS}, v.Cluster).Fracs
+	work := make([]float64, v.NumDevices())
+	var params int64
+	for _, op := range g.Ops {
+		params += op.ParamBytes
+		if op.Kind == graph.KindApplyGradient || op.Kind.IsComm() {
+			continue
+		}
+		for dev, f := range fr {
+			if f > 0 {
+				work[dev] += cm.OpTime(op, dev, f)
+			}
+		}
+	}
+	var compute float64
+	for _, w := range work {
+		if w > compute {
+			compute = w
+		}
+	}
+	return math.Max(compute, NICAggregationFloor(v.Cluster, params)), nil
+}
+
+// NICAggregationFloor is a per-iteration floor on cross-server gradient
+// aggregation time: with parameters sharded evenly across nS servers (the
+// PS placement the proportional layout converges to), every server must move
+// ~2·P·(nS-1)/nS bytes through its NIC per iteration — gradients out for
+// remotely-hosted shards, updated parameters back in — and the slowest NIC
+// bounds the iteration. Single-server views aggregate over PCIe only and
+// return 0 (no cross-server floor).
+func NICAggregationFloor(c *cluster.Cluster, paramBytes int64) float64 {
+	occupied := 0
+	minNIC := math.Inf(1)
+	for _, s := range c.Servers {
+		if len(s.Devices) == 0 {
+			continue
+		}
+		occupied++
+		if s.NICBandwidth < minNIC {
+			minNIC = s.NICBandwidth
+		}
+	}
+	if occupied <= 1 || paramBytes <= 0 {
+		return 0
+	}
+	cross := 2 * float64(paramBytes) * float64(occupied-1) / float64(occupied)
+	return cross / minNIC
 }
 
 // scoreToTime converts a "lower is better" incumbent score into a nominal

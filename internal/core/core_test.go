@@ -22,7 +22,7 @@ func evaluatorFor(t *testing.T, key string, batch, gpus int) *Evaluator {
 	default:
 		c = cluster.Testbed8()
 	}
-	ev, err := NewEvaluator(g, c, 1)
+	ev, err := NewEvaluator(g, c.FullView(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,9 +94,13 @@ func perIteration(dg *compiler.DistGraph, res *sim.Result) float64 {
 }
 
 // Evaluator evaluates strategies for one (graph, cluster, cost model) triple.
+// The cluster is always a view: whole-cluster planning wraps its cluster with
+// FullView, fleet-mode planning hands in the lease's sub-cluster view, and
+// either way the evaluator (and everything below it) sees dense local device
+// IDs.
 type Evaluator struct {
 	Graph   *graph.Graph
-	Cluster *cluster.Cluster
+	Cluster *cluster.View
 	Cost    *profile.CostModel
 	// UseFIFO disables HeteroG's order scheduling and falls back to
 	// TensorFlow's default FIFO execution (Table 7's ablation).
@@ -145,10 +149,10 @@ type Evaluator struct {
 	bounds *boundState
 }
 
-// NewEvaluator profiles the graph on the cluster and returns an evaluator
-// with memoization enabled at evalcache.DefaultCapacity.
-func NewEvaluator(g *graph.Graph, c *cluster.Cluster, seed int64) (*Evaluator, error) {
-	cm, err := profile.Profile(g, c, profile.Options{Seed: seed})
+// NewEvaluator profiles the graph on the cluster view and returns an
+// evaluator with memoization enabled at evalcache.DefaultCapacity.
+func NewEvaluator(g *graph.Graph, c *cluster.View, seed int64) (*Evaluator, error) {
+	cm, err := profile.Profile(g, c.Cluster, profile.Options{Seed: seed})
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", g.Name, err)
 	}
@@ -308,7 +312,7 @@ func (ev *Evaluator) lowered(s *strategy.Strategy, iters int) (*plan.Artifacts, 
 			return hit, nil
 		}
 	}
-	a := plan.NewArtifacts(ev.Graph, ev.Cluster, s, ev.Cost, iters, ev.Ablate)
+	a := plan.NewArtifacts(ev.Graph, ev.Cluster.Cluster, s, ev.Cost, iters, ev.Ablate)
 	if err := plan.Lower(a); err != nil {
 		return nil, err
 	}

@@ -128,7 +128,7 @@ func TestGoldenEvaluationBitIdentical(t *testing.T) {
 		} else {
 			c = cluster.Testbed8()
 		}
-		ev, err := NewEvaluator(g, c, 1)
+		ev, err := NewEvaluator(g, c.FullView(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,12 +143,12 @@ func TestGoldenEvaluationBitIdentical(t *testing.T) {
 
 		// Robust twin of the same case: fresh evaluator (robustness must be
 		// enabled before sharing), 3 scenarios from a fixed fault seed.
-		rev, err := NewEvaluator(g, c, 1)
+		rev, err := NewEvaluator(g, c.FullView(), 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		rev.UseFIFO = tc.fifo
-		if err := rev.EnableRobustness(faults.Generate(c, faults.DefaultModel(3, 7)), 0.5); err != nil {
+		if err := rev.EnableRobustness(faults.Generate(c.FullView(), faults.DefaultModel(3, 7)), 0.5); err != nil {
 			t.Fatal(err)
 		}
 		rob, err := rev.Evaluate(s)

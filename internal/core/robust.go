@@ -75,7 +75,7 @@ func (ev *Evaluator) EnableRobustness(scs []*faults.Scenario, blend float64) err
 	r := &Robustness{Scenarios: scs, Blend: blend, evs: make([]*Evaluator, len(scs))}
 	for k, sc := range scs {
 		pc := sc.Apply(ev.Cluster)
-		pcm, err := ev.Cost.Perturbed(pc, sc.EffectiveSlowdowns(), sc.LinkFactor)
+		pcm, err := ev.Cost.Perturbed(pc.Cluster, sc.EffectiveSlowdowns(), sc.LinkFactor)
 		if err != nil {
 			return fmt.Errorf("core: scenario %s: %w", sc.Name, err)
 		}

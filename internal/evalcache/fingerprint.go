@@ -56,14 +56,20 @@ func LoweredFingerprint(s *strategy.Strategy, iterations int, ab compiler.Ablati
 }
 
 // WorkloadFingerprint identifies a whole planning workload: the triple
-// (graph, cluster, profiling seed) that scopes every evaluation and lowered
-// cache. Two submissions with the same fingerprint may safely share warm
-// caches — the planning service keys its process-wide warm-state registry by
-// it. The hash covers graph structure and per-op costs (not just the name, so
-// two serialized graphs that happen to share a name stay distinct) and the
-// cluster's devices, servers and bandwidths, all under the lowering-scheme
-// version so a compiler change rotates every workload key.
-func WorkloadFingerprint(g *graph.Graph, c *cluster.Cluster, seed int64) Key {
+// (graph, cluster view, profiling seed) that scopes every evaluation and
+// lowered cache. Two submissions with the same fingerprint may safely share
+// warm caches — the planning service keys its process-wide warm-state
+// registry by it. The hash covers graph structure and per-op costs (not just
+// the name, so two serialized graphs that happen to share a name stay
+// distinct) and the view's devices, servers and bandwidths, all under the
+// lowering-scheme version so a compiler change rotates every workload key.
+//
+// Only the view's projected shape is hashed — never the identity of the
+// fleet devices backing it. Together with ViewOf's canonical shape-derived
+// names, this makes two identical-shaped leases (say, two different pairs of
+// V100 servers carved from one fleet) hash to the same workload key and share
+// one warm cache set.
+func WorkloadFingerprint(g *graph.Graph, c *cluster.View, seed int64) Key {
 	h := sha256.New()
 	var w [8]byte
 	u64 := func(v uint64) {

@@ -129,7 +129,7 @@ func (l *Lab) Evaluator(key string, batch, gpus int) (*core.Evaluator, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := core.NewEvaluator(g, c, l.cfg.Seed)
+	ev, err := core.NewEvaluator(g, c.FullView(), l.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func Motivation() (*Report, []MotivationRow, error) {
 		if err != nil {
 			return 0, err
 		}
-		ev, err := core.NewEvaluator(g, c, 1)
+		ev, err := core.NewEvaluator(g, c.FullView(), 1)
 		if err != nil {
 			return 0, err
 		}

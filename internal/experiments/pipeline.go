@@ -89,7 +89,7 @@ func (l *Lab) pipelineRow(key string, batch, gpus int) (*PipelineRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := core.NewEvaluator(g, cl, l.cfg.Seed)
+	ev, err := core.NewEvaluator(g, cl.FullView(), l.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

@@ -111,18 +111,19 @@ func (l *Lab) robustRow(bm models.Benchmark, k int, faultSeed int64, robustObj b
 	}
 	// Re-create the worst scenario (generation is deterministic in the
 	// seed) and degrade the cluster with it.
-	scs := faults.Generate(cl, faults.DefaultModel(k, faultSeed))
+	clv := cl.FullView()
+	scs := faults.Generate(clv, faults.DefaultModel(k, faultSeed))
 	worst := scs[0]
 	for _, sc := range scs {
 		if sc.Name == rr.WorstScenario {
 			worst = sc
 		}
 	}
-	degraded := worst.Apply(cl)
+	degraded := worst.Apply(clv)
 	// Stale plan on the degraded cluster vs. replanning there. The stale
 	// score uses a fresh evaluator built with the same seed Replan uses
 	// internally, so both numbers come from the same degraded cost model.
-	replanned, err := runner.Replan(degraded)
+	replanned, err := runner.ReplanView(degraded)
 	if err != nil {
 		return nil, err
 	}

@@ -100,10 +100,10 @@ type Scenario struct {
 	FailFrac float64
 }
 
-// Generate expands the cluster into m.K scenario perturbations. The draw
-// order is fixed (devices, then links, then failure), so a given (cluster
+// Generate expands the cluster view into m.K scenario perturbations. The
+// draw order is fixed (devices, then links, then failure), so a given (view
 // shape, model) pair always produces bit-identical scenarios.
-func Generate(c *cluster.Cluster, m Model) []*Scenario {
+func Generate(c *cluster.View, m Model) []*Scenario {
 	m.Normalize()
 	rng := rand.New(rand.NewSource(m.Seed))
 	scs := make([]*Scenario, 0, m.K)
@@ -188,12 +188,12 @@ func (s *Scenario) Overlay() cluster.Overlay {
 	}
 }
 
-// Apply returns a perturbed deep copy of the cluster: device compute power is
+// Apply returns a perturbed deep copy of the view: device compute power is
 // divided by the effective slowdown, link bandwidths are scaled by LinkFactor,
-// and usable memory headroom shrinks by MemFactor. The source cluster is
-// never mutated. Apply panics if the scenario was generated for a cluster of
-// a different shape.
-func (s *Scenario) Apply(c *cluster.Cluster) *cluster.Cluster {
+// and usable memory headroom shrinks by MemFactor. The source view is never
+// mutated, and the perturbed view keeps the source's fleet-ID mapping. Apply
+// panics if the scenario was generated for a view of a different shape.
+func (s *Scenario) Apply(c *cluster.View) *cluster.View {
 	if len(s.Slowdown) != c.NumDevices() || len(s.LinkFactor) != c.NumLinks() {
 		panic(fmt.Sprintf("faults: scenario %s sized for %d devices/%d links, cluster %q has %d/%d",
 			s.Name, len(s.Slowdown), len(s.LinkFactor), c.Name, c.NumDevices(), c.NumLinks()))
@@ -205,10 +205,11 @@ func (s *Scenario) Apply(c *cluster.Cluster) *cluster.Cluster {
 	return pc
 }
 
-// Survivors returns the degraded cluster after the scenario settles: the
+// Survivors returns the degraded view after the scenario settles: the
 // perturbation of Apply with the failed device (if any) removed outright.
-// This is the topology to hand to a replanner once the failure is permanent.
-func (s *Scenario) Survivors(c *cluster.Cluster) (*cluster.Cluster, error) {
+// Surviving devices keep their fleet IDs. This is the topology to hand to a
+// replanner once the failure is permanent.
+func (s *Scenario) Survivors(c *cluster.View) (*cluster.View, error) {
 	pc := s.Apply(c)
 	if s.Failed < 0 {
 		return pc, nil

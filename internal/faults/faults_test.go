@@ -8,7 +8,7 @@ import (
 )
 
 func TestGenerateDeterministic(t *testing.T) {
-	c := cluster.Testbed8()
+	c := cluster.Testbed8().FullView()
 	a := Generate(c, DefaultModel(6, 42))
 	b := Generate(c, DefaultModel(6, 42))
 	if !reflect.DeepEqual(a, b) {
@@ -24,7 +24,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateBounds(t *testing.T) {
-	c := cluster.Testbed8()
+	c := cluster.Testbed8().FullView()
 	for _, s := range Generate(c, DefaultModel(32, 7)) {
 		if len(s.Slowdown) != c.NumDevices() || len(s.MemFactor) != c.NumDevices() || len(s.LinkFactor) != c.NumLinks() {
 			t.Fatalf("scenario %s sized wrong", s.Name)
@@ -57,7 +57,7 @@ func TestGenerateBounds(t *testing.T) {
 }
 
 func TestApplyDoesNotMutate(t *testing.T) {
-	c := cluster.Testbed8()
+	c := cluster.Testbed8().FullView()
 	want := c.Clone()
 	scs := Generate(c, DefaultModel(8, 3))
 	for _, s := range scs {
@@ -69,7 +69,7 @@ func TestApplyDoesNotMutate(t *testing.T) {
 }
 
 func TestApplyPerturbs(t *testing.T) {
-	c := cluster.Testbed4()
+	c := cluster.Testbed4().FullView()
 	s := &Scenario{
 		ID:         0,
 		Name:       "manual",
@@ -102,7 +102,7 @@ func TestApplyPerturbs(t *testing.T) {
 }
 
 func TestSurvivorsRemovesFailedDevice(t *testing.T) {
-	c := cluster.Testbed8()
+	c := cluster.Testbed8().FullView()
 	scs := Generate(c, DefaultModel(64, 11))
 	var withFailure *Scenario
 	for _, s := range scs {
@@ -145,11 +145,11 @@ func TestSurvivorsRemovesFailedDevice(t *testing.T) {
 }
 
 func TestApplyRejectsMismatchedCluster(t *testing.T) {
-	scs := Generate(cluster.Testbed8(), DefaultModel(1, 1))
+	scs := Generate(cluster.Testbed8().FullView(), DefaultModel(1, 1))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Apply on a mismatched cluster must panic")
 		}
 	}()
-	scs[0].Apply(cluster.Testbed4())
+	scs[0].Apply(cluster.Testbed4().FullView())
 }

@@ -1,0 +1,572 @@
+// Package fleet partitions one heterogeneous GPU fleet across many concurrent
+// training jobs. Each admitted job holds a cluster.Lease — a sub-cluster view
+// carved from the fleet at whole-server granularity — and plans against that
+// view exactly as it would against a dedicated cluster; the allocator's only
+// job is deciding which servers each lease gets.
+//
+// Allocation policy (deterministic, greedy marginal-throughput):
+//
+//  1. Admission first, FIFO. Every waiting job is offered servers in
+//     submission order before any incumbent grows: a job is admitted with the
+//     smallest server set that satisfies its MinDevices (servers picked by
+//     best estimated throughput), or stays queued if the free pool cannot
+//     cover the minimum.
+//  2. Growth by marginal gain. Remaining free servers are auctioned one at a
+//     time: each (job, server) pair is scored by the increase in the job's
+//     estimated training throughput (1/EstimateLeaseTime) were the server
+//     added to its lease, and the highest positive gain wins. Gains diminish
+//     because the estimate folds in the NIC aggregation floor — past the
+//     point where gradient traffic dominates, adding servers stops paying and
+//     the auction moves to the next job. Servers no job can use profitably
+//     stay free.
+//  3. Preemptive reclaim. When the free pool cannot cover a waiting job's
+//     minimum, incumbents are shrunk — never below their own MinDevices, one
+//     server at a time, always the removal costing the least aggregate
+//     estimated throughput — until the waiting job fits (or provably cannot,
+//     in which case every trial removal is rolled back and nobody shrinks).
+//     Capacity acquired through growth is therefore elastic: jobs borrow idle
+//     servers while the fleet is quiet and hand them back as load arrives.
+//  4. Completion rebalance. Capacity freed by a completing (or cancelled) job
+//     goes to the waiting queue first — rule 1 runs before rule 2 on every
+//     release — then incumbents may grow onto whatever remains.
+//
+// Every grant — admission or growth — is returned to the caller as a new
+// immutable Lease (growth replaces the job's lease rather than mutating it);
+// the holder replans onto the new view. Ties break by submission order, then
+// ascending server ID, so identical call sequences always produce identical
+// allocations.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/graph"
+)
+
+// EstimateFunc scores a candidate lease shape: estimated seconds per training
+// iteration for the job's graph on view v (lower is better). The default is
+// core.EstimateLeaseTime; tests inject cheap fakes.
+type EstimateFunc func(g *graph.Graph, v *cluster.View, seed int64) (float64, error)
+
+// JobSpec describes one job competing for fleet capacity.
+type JobSpec struct {
+	// ID must be unique among live (running or waiting) jobs.
+	ID string
+	// Graph is the training graph the estimator scores lease shapes for.
+	Graph *graph.Graph
+	// Seed is the profiling seed, forwarded to the estimator so allocation
+	// estimates agree with the cost model the job will plan under.
+	Seed int64
+	// MinDevices is the smallest acceptable lease (0 means 1): the job waits
+	// rather than run below it. MaxDevices caps growth (0 means unlimited).
+	MinDevices, MaxDevices int
+}
+
+// Grant records one allocation decision made during Submit or Release.
+type Grant struct {
+	// Job is the recipient's JobSpec.ID.
+	Job string
+	// Lease is the job's new lease. On growth it supersedes the job's
+	// previous lease; the holder should replan onto Lease.View.
+	Lease *cluster.Lease
+	// Grown marks a resize of an already-running job onto a larger lease;
+	// Shrunk marks a preemptive reclaim onto a smaller one. Both false on
+	// the admission of a waiting job (and on a rare same-size server swap).
+	// On any grant the holder should replan onto Lease.View.
+	Grown, Shrunk bool
+	// EstIterSec is the allocator's estimated per-iteration time on the
+	// granted view, for observability.
+	EstIterSec float64
+}
+
+// LeaseInfo is one entry of the allocator's observable state.
+type LeaseInfo struct {
+	Job        string  `json:"job"`
+	LeaseID    string  `json:"lease_id"`
+	Shape      string  `json:"shape"`
+	Servers    []int   `json:"servers"` // fleet server IDs, ascending
+	Devices    []int   `json:"devices"` // fleet device IDs, ascending
+	EstIterSec float64 `json:"est_iter_sec"`
+}
+
+// State is a snapshot of the fleet partition.
+type State struct {
+	Fleet         string      `json:"fleet"`
+	TotalDevices  int         `json:"total_devices"`
+	LeasedDevices int         `json:"leased_devices"`
+	FreeDevices   int         `json:"free_devices"`
+	Leases        []LeaseInfo `json:"leases"`
+	Waiting       []string    `json:"waiting"`
+}
+
+type jobState struct {
+	spec    JobSpec
+	servers []int // granted fleet server IDs, ascending; nil while waiting
+	lease   *cluster.Lease
+	est     float64 // estimated iter time on the current lease
+	seq     int     // submission order, for deterministic ties
+	pinned  bool    // frozen shape: exempt from growth and reclaim
+}
+
+// Allocator owns the server-to-job assignment for one fleet. All methods are
+// safe for concurrent use; allocation decisions are serialized under one lock
+// so every Submit/Release observes a consistent partition.
+type Allocator struct {
+	mu        sync.Mutex
+	fleet     *cluster.Cluster
+	est       EstimateFunc
+	free      map[int]bool // server ID -> free
+	jobs      map[string]*jobState
+	waiting   []string // FIFO queue of waiting job IDs
+	order     []string // live jobs in submission order
+	estCache  map[string]float64
+	nextLease int
+	nextSeq   int
+}
+
+// New builds an allocator owning fleet. estimate may be nil for the default
+// core.EstimateLeaseTime.
+func New(fleet *cluster.Cluster, estimate EstimateFunc) *Allocator {
+	if estimate == nil {
+		estimate = core.EstimateLeaseTime
+	}
+	a := &Allocator{
+		fleet:    fleet,
+		est:      estimate,
+		free:     make(map[int]bool, len(fleet.Servers)),
+		jobs:     make(map[string]*jobState),
+		estCache: make(map[string]float64),
+	}
+	for id, s := range fleet.Servers {
+		if len(s.Devices) > 0 {
+			a.free[id] = true
+		}
+	}
+	return a
+}
+
+// Submit registers a job and reallocates. The returned grants include the new
+// job's admission when capacity allows (Grant.Job == spec.ID, Grown == false);
+// when the free pool cannot cover spec.MinDevices the job queues and the
+// grant arrives from a later Release. Growth grants for incumbents can ride
+// along whenever previously-unprofitable free servers become worth taking.
+func (a *Allocator) Submit(spec JobSpec) ([]Grant, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("fleet: job ID must be non-empty")
+	}
+	if spec.Graph == nil {
+		return nil, fmt.Errorf("fleet: job %s: graph must be non-nil", spec.ID)
+	}
+	if spec.MinDevices < 1 {
+		spec.MinDevices = 1
+	}
+	if spec.MaxDevices > 0 && spec.MaxDevices < spec.MinDevices {
+		return nil, fmt.Errorf("fleet: job %s: MaxDevices %d < MinDevices %d",
+			spec.ID, spec.MaxDevices, spec.MinDevices)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.jobs[spec.ID]; dup {
+		return nil, fmt.Errorf("fleet: job %s already live", spec.ID)
+	}
+	js := &jobState{spec: spec, seq: a.nextSeq}
+	a.nextSeq++
+	a.jobs[spec.ID] = js
+	a.order = append(a.order, spec.ID)
+	a.waiting = append(a.waiting, spec.ID)
+	return a.reallocate()
+}
+
+// Release returns a job's servers to the free pool (or drops it from the
+// waiting queue) and reallocates: waiting jobs are admitted first, then
+// incumbents may grow onto whatever remains. Unknown IDs are a no-op so
+// completion and cancellation paths can both call Release unconditionally.
+func (a *Allocator) Release(jobID string) []Grant {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	js, ok := a.jobs[jobID]
+	if !ok {
+		return nil
+	}
+	for _, s := range js.servers {
+		a.free[s] = true
+	}
+	delete(a.jobs, jobID)
+	a.order = removeID(a.order, jobID)
+	a.waiting = removeID(a.waiting, jobID)
+	grants, _ := a.reallocate()
+	return grants
+}
+
+// Pin freezes a job's lease shape: a pinned job is skipped by both the
+// growth auction and preemptive reclaim, so its view can never change under
+// it. The planning service pins a job the moment a worker starts planning on
+// its view — resizing a plan mid-flight would desynchronize the plan from
+// the lease — and the pin lasts until the job releases. Unknown or waiting
+// jobs are a no-op.
+func (a *Allocator) Pin(jobID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if js, ok := a.jobs[jobID]; ok && len(js.servers) > 0 {
+		js.pinned = true
+	}
+}
+
+// Lease returns the job's current lease, or nil if the job is waiting or not
+// live.
+func (a *Allocator) Lease(jobID string) *cluster.Lease {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if js, ok := a.jobs[jobID]; ok {
+		return js.lease
+	}
+	return nil
+}
+
+// Snapshot reports the current partition.
+func (a *Allocator) Snapshot() State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := State{Fleet: a.fleet.Name, TotalDevices: a.fleet.NumDevices()}
+	for _, id := range a.order {
+		js := a.jobs[id]
+		if js.lease == nil {
+			continue
+		}
+		devs := js.lease.Devices()
+		st.LeasedDevices += len(devs)
+		st.Leases = append(st.Leases, LeaseInfo{
+			Job:        id,
+			LeaseID:    js.lease.ID,
+			Shape:      js.lease.View.Name,
+			Servers:    append([]int(nil), js.servers...),
+			Devices:    devs,
+			EstIterSec: js.est,
+		})
+	}
+	st.FreeDevices = st.TotalDevices - st.LeasedDevices
+	st.Waiting = append([]string(nil), a.waiting...)
+	return st
+}
+
+// devCount is the job's current device count from its in-progress server
+// set (js.lease lags behind until grants are minted at the end of a pass).
+func (a *Allocator) devCount(js *jobState) int {
+	n := 0
+	for _, s := range js.servers {
+		n += len(a.fleet.Servers[s].Devices)
+	}
+	return n
+}
+
+// reallocate runs the allocation policy under a.mu: FIFO admission of
+// waiting jobs (with preemptive reclaim from incumbents when the free pool
+// falls short), then marginal-gain growth of everything holding a lease.
+// Jobs whose server set changed get exactly one grant for their final shape.
+func (a *Allocator) reallocate() ([]Grant, error) {
+	prevServers := make(map[string][]int)
+	note := func(js *jobState) {
+		if _, seen := prevServers[js.spec.ID]; !seen {
+			prevServers[js.spec.ID] = append([]int(nil), js.servers...)
+		}
+	}
+	// Phase 1: admission, submission order. Each waiting job greedily takes
+	// the free server giving it the best estimated throughput until its
+	// MinDevices is met, preemptively reclaiming elastic capacity from
+	// incumbents when the free pool alone cannot cover it. A job whose
+	// minimum still cannot be met stays queued and later arrivals get their
+	// shot (a small job can be admitted past a large one that must wait --
+	// capacity the large job could not use anyway).
+	stillWaiting := a.waiting[:0:0]
+	for _, id := range a.waiting {
+		js := a.jobs[id]
+		servers, est, ok := a.admit(js)
+		if !ok && a.reclaimFor(js, note) {
+			servers, est, ok = a.admit(js)
+		}
+		if !ok {
+			stillWaiting = append(stillWaiting, id)
+			continue
+		}
+		note(js)
+		for _, s := range servers {
+			delete(a.free, s)
+		}
+		js.servers = servers
+		js.est = est
+	}
+	a.waiting = stillWaiting
+	// Phase 2: growth auction over the remaining free servers.
+	for len(a.free) > 0 {
+		bestJob, bestServer, bestGain, bestEst := "", -1, 0.0, 0.0
+		for _, id := range a.order {
+			js := a.jobs[id]
+			if len(js.servers) == 0 || js.est <= 0 || js.pinned {
+				continue // waiting (phase 1 already passed on it) or frozen
+			}
+			max := js.spec.MaxDevices
+			for _, s := range a.freeServers() {
+				if max > 0 && a.devCount(js)+len(a.fleet.Servers[s].Devices) > max {
+					continue
+				}
+				est, err := a.estimate(js, insertSorted(append([]int(nil), js.servers...), s))
+				if err != nil {
+					continue // unusable shape for this job; try others
+				}
+				gain := 1/est - 1/js.est
+				if gain > bestGain {
+					bestJob, bestServer, bestGain, bestEst = id, s, gain, est
+				}
+			}
+		}
+		if bestJob == "" {
+			break // no profitable assignment; leave the rest free
+		}
+		js := a.jobs[bestJob]
+		note(js)
+		delete(a.free, bestServer)
+		js.servers = insertSorted(js.servers, bestServer)
+		js.est = bestEst
+	}
+	// Mint one grant per job whose server set actually changed. A job that
+	// was shrunk by reclaim and then won the same server back in the auction
+	// nets out to no change and keeps its lease -- no churn.
+	var grants []Grant
+	for _, id := range a.order {
+		before, touched := prevServers[id]
+		if !touched {
+			continue
+		}
+		js := a.jobs[id]
+		if equalInts(before, js.servers) {
+			continue
+		}
+		lease, err := a.grantLease(js)
+		if err != nil {
+			return grants, err
+		}
+		prev := 0
+		for _, s := range before {
+			prev += len(a.fleet.Servers[s].Devices)
+		}
+		grants = append(grants, Grant{
+			Job:        id,
+			Lease:      lease,
+			Grown:      prev > 0 && lease.NumDevices() > prev,
+			Shrunk:     prev > 0 && lease.NumDevices() < prev,
+			EstIterSec: js.est,
+		})
+	}
+	return grants, nil
+}
+
+// reclaimFor shrinks incumbents -- cheapest marginal throughput loss first,
+// never below a job's own MinDevices or last server -- until the free pool
+// can cover target's minimum. If the target provably cannot be covered every
+// trial removal is rolled back and no incumbent shrinks. note records each
+// touched incumbent's pre-reclaim server set for grant minting.
+func (a *Allocator) reclaimFor(target *jobState, note func(*jobState)) bool {
+	freeDevs := func() int {
+		n := 0
+		for s := range a.free {
+			n += len(a.fleet.Servers[s].Devices)
+		}
+		return n
+	}
+	if freeDevs() >= target.spec.MinDevices {
+		return false // admission failed for another reason; reclaim won't help
+	}
+	type undo struct {
+		js     *jobState
+		server int
+		est    float64
+	}
+	var undos []undo
+	for freeDevs() < target.spec.MinDevices {
+		var bestJS *jobState
+		bestServer, bestLoss, bestEst := -1, math.Inf(1), 0.0
+		for _, id := range a.order {
+			js := a.jobs[id]
+			if js == target || len(js.servers) <= 1 || js.est <= 0 || js.pinned {
+				continue
+			}
+			min := js.spec.MinDevices
+			if min < 1 {
+				min = 1
+			}
+			for _, s := range js.servers {
+				if a.devCount(js)-len(a.fleet.Servers[s].Devices) < min {
+					continue
+				}
+				est, err := a.estimate(js, withoutInt(js.servers, s))
+				if err != nil {
+					continue
+				}
+				loss := 1/js.est - 1/est
+				if loss < bestLoss {
+					bestJS, bestServer, bestLoss, bestEst = js, s, loss, est
+				}
+			}
+		}
+		if bestJS == nil {
+			// Infeasible: roll back, latest removal first.
+			for i := len(undos) - 1; i >= 0; i-- {
+				u := undos[i]
+				delete(a.free, u.server)
+				u.js.servers = insertSorted(u.js.servers, u.server)
+				u.js.est = u.est
+			}
+			return false
+		}
+		note(bestJS)
+		undos = append(undos, undo{js: bestJS, server: bestServer, est: bestJS.est})
+		bestJS.servers = withoutInt(bestJS.servers, bestServer)
+		bestJS.est = bestEst
+		a.free[bestServer] = true
+	}
+	return true
+}
+
+// admit finds the cheapest admission set for a waiting job: servers taken one
+// at a time by best resulting estimated throughput until MinDevices is
+// covered. Returns ok=false when the free pool cannot cover the minimum (or
+// no free shape is estimable).
+func (a *Allocator) admit(js *jobState) (servers []int, est float64, ok bool) {
+	free := a.freeServers()
+	if len(free) == 0 {
+		return nil, 0, false
+	}
+	var picked []int
+	devices := 0
+	for devices < js.spec.MinDevices && len(free) > 0 {
+		bestIdx, bestEst := -1, 0.0
+		for i, s := range free {
+			if js.spec.MaxDevices > 0 && devices+len(a.fleet.Servers[s].Devices) > js.spec.MaxDevices {
+				continue
+			}
+			e, err := a.estimate(js, insertSorted(append([]int(nil), picked...), s))
+			if err != nil {
+				continue
+			}
+			if bestIdx < 0 || e < bestEst {
+				bestIdx, bestEst = i, e
+			}
+		}
+		if bestIdx < 0 {
+			return nil, 0, false
+		}
+		s := free[bestIdx]
+		picked = insertSorted(picked, s)
+		devices += len(a.fleet.Servers[s].Devices)
+		est = bestEst
+		free = append(free[:bestIdx], free[bestIdx+1:]...)
+	}
+	if devices < js.spec.MinDevices {
+		return nil, 0, false
+	}
+	return picked, est, true
+}
+
+// grantLease mints a fresh lease for the job's current server set.
+func (a *Allocator) grantLease(js *jobState) (*cluster.Lease, error) {
+	view, err := a.viewOf(js.servers)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: job %s: %w", js.spec.ID, err)
+	}
+	a.nextLease++
+	js.lease = &cluster.Lease{
+		ID:   fmt.Sprintf("lease-%04d", a.nextLease),
+		Job:  js.spec.ID,
+		Seq:  uint64(a.nextLease),
+		View: view,
+	}
+	return js.lease, nil
+}
+
+// estimate scores the job on the given server set, memoized by (job, shape):
+// two candidate sets projecting to the same canonical view shape share one
+// estimate, exactly as identical-shaped leases share warm planning caches.
+func (a *Allocator) estimate(js *jobState, servers []int) (float64, error) {
+	view, err := a.viewOf(servers)
+	if err != nil {
+		return 0, err
+	}
+	key := js.spec.ID + "|" + view.Name
+	if e, ok := a.estCache[key]; ok {
+		return e, nil
+	}
+	e, err := a.est(js.spec.Graph, view, js.spec.Seed)
+	if err != nil {
+		return 0, err
+	}
+	a.estCache[key] = e
+	return e, nil
+}
+
+func (a *Allocator) viewOf(servers []int) (*cluster.View, error) {
+	var devs []int
+	for _, s := range servers {
+		devs = append(devs, a.fleet.Servers[s].Devices...)
+	}
+	return a.fleet.ViewOf(devs...)
+}
+
+// freeServers returns the free pool as ascending server IDs (map iteration
+// order would break determinism).
+func (a *Allocator) freeServers() []int {
+	ids := make([]int, 0, len(a.free))
+	for s := range a.free {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}
+
+// withoutInt returns a copy of sorted xs with one occurrence of v removed.
+func withoutInt(xs []int, v int) []int {
+	out := make([]int, 0, len(xs)-1)
+	removed := false
+	for _, x := range xs {
+		if x == v && !removed {
+			removed = true
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func removeID(xs []string, id string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -233,6 +233,16 @@ func (c *Client) Events(ctx context.Context, id string, since uint64, wait time.
 	return evs, nil
 }
 
+// Fleet fetches the fleet partition snapshot: which jobs hold which devices
+// and who is waiting. Fails with ErrNotFound against a classic-mode server.
+func (c *Client) Fleet(ctx context.Context) (*FleetStatus, error) {
+	var st FleetStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // Jobs lists every retained job.
 func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
 	var out []*JobStatus

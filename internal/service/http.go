@@ -25,6 +25,8 @@ import (
 //	POST   /v1/jobs/{id}/telemetry []telemetry.Reading        → 200 TelemetryAck
 //	GET    /v1/jobs/{id}/events    plan-update log (?since=N, ?wait=30s
 //	                               long-polls for events past N) → 200 []PlanEvent
+//	GET    /v1/fleet               fleet partition snapshot   → 200 FleetStatus
+//	                               (fleet-mode servers only; 404 otherwise)
 //	GET    /v1/stats               server + warm-cache stats  → 200 ServerStats
 //	GET    /healthz                liveness                   → 200
 //
@@ -109,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/replan", s.handleReplan)
 	mux.HandleFunc("POST /v1/jobs/{id}/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -282,6 +285,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, evs)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Fleet()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

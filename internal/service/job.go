@@ -17,6 +17,9 @@ import (
 type JobState string
 
 const (
+	// JobWaiting: accepted in fleet mode, waiting for the allocator to grant
+	// a lease (fleet capacity, not worker capacity).
+	JobWaiting JobState = "waiting"
 	// JobQueued: accepted, waiting for a worker.
 	JobQueued JobState = "queued"
 	// JobRunning: a worker is planning.
@@ -44,9 +47,14 @@ type job struct {
 	auto     bool   // true for replans fired by the telemetry monitor
 
 	// Resolved at admission so a malformed spec is rejected before queueing.
+	// In fleet mode cluster and warmKey stay unset until a lease is granted
+	// (adoptLeaseLocked fills them from the lease's view).
 	graph   *graph.Graph
-	cluster *cluster.Cluster
+	cluster *cluster.View
 	warmKey evalcache.Key
+	// lease is the fleet lease backing cluster in fleet mode; nil in classic
+	// mode, and cleared on release (cluster stays for reporting).
+	lease *cluster.Lease
 
 	state JobState
 	err   string
@@ -89,6 +97,9 @@ type JobStatus struct {
 	// Auto marks replans fired by the telemetry monitor rather than a client.
 	Auto  bool   `json:"auto,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Lease names the fleet lease currently backing the job (fleet mode,
+	// until released).
+	Lease string `json:"lease,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -144,11 +155,13 @@ type ReplanRequest struct {
 type ServerStats struct {
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
-	Queued     int `json:"queued"`
-	Running    int `json:"running"`
-	Done       int `json:"done"`
-	Failed     int `json:"failed"`
-	Canceled   int `json:"canceled"`
+	// Waiting counts fleet-mode jobs admitted but not yet granted a lease.
+	Waiting  int `json:"waiting,omitempty"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
 
 	Accepted uint64 `json:"accepted"`
 	Rejected uint64 `json:"rejected"`

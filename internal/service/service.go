@@ -33,6 +33,7 @@ import (
 	"heterog/internal/cluster"
 	"heterog/internal/core"
 	"heterog/internal/evalcache"
+	"heterog/internal/fleet"
 	"heterog/internal/graph"
 )
 
@@ -81,6 +82,15 @@ type Config struct {
 	// MaxJobs bounds retained job records; the oldest terminal jobs are
 	// forgotten beyond it (default 1024).
 	MaxJobs int
+	// Fleet switches the server into fleet mode: the server owns this
+	// cluster, and a fleet allocator partitions it into per-job leases (see
+	// internal/fleet and fleet.go). Nil keeps the classic mode where every
+	// job describes its own cluster.
+	Fleet *cluster.Cluster
+	// FleetEstimate overrides the fleet allocator's per-iteration time
+	// estimator (default core.EstimateLeaseTime). Test seam and tuning knob;
+	// ignored without Fleet.
+	FleetEstimate fleet.EstimateFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +111,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	// Fleet mode moves admission control into the allocator (jobs wait for a
+	// lease instead of being rejected), so the queue only ever holds jobs
+	// that already own devices; size it to the retention bound so a grant
+	// can always enqueue without blocking.
+	if c.Fleet != nil && c.QueueDepth < c.MaxJobs {
+		c.QueueDepth = c.MaxJobs
 	}
 	return c
 }
@@ -135,6 +152,12 @@ type Server struct {
 	// job monitor.
 	telemetry TelemetryStats
 
+	// fleetAlloc partitions the owned fleet into leases in fleet mode; nil
+	// in classic mode. Lock ordering: s.mu may be taken before the
+	// allocator's internal lock (the allocator never calls back into the
+	// server), but applyGrants must not run under s.mu.
+	fleetAlloc *fleet.Allocator
+
 	workers   sync.WaitGroup
 	closeOnce sync.Once
 	// now and runHook are test seams: now stamps job transitions, runHook
@@ -153,6 +176,9 @@ func New(cfg Config) *Server {
 		warm:  make(map[evalcache.Key]*warmSet),
 		now:   time.Now,
 	}
+	if cfg.Fleet != nil {
+		s.fleetAlloc = fleet.New(cfg.Fleet, cfg.FleetEstimate)
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -168,7 +194,7 @@ func (s *Server) Config() Config { return s.cfg }
 // scenarios are keyed inside the caches only by their index, so two jobs may
 // share warm state only when their scenario sets are identical — same count,
 // same seed.
-func warmKey(spec *cli.Spec, g *graph.Graph, c *cluster.Cluster) evalcache.Key {
+func warmKey(spec *cli.Spec, g *graph.Graph, c *cluster.View) evalcache.Key {
 	seed := spec.Seed
 	if seed == 0 {
 		seed = 1
@@ -218,8 +244,12 @@ func (s *Server) warmSetFor(key evalcache.Key) *warmSet {
 
 // Submit validates and admits a planning job, returning its status snapshot.
 // Admission is non-blocking: a full queue returns ErrQueueFull immediately
-// (backpressure), a draining server ErrDraining.
+// (backpressure), a draining server ErrDraining. In fleet mode the job
+// instead waits for a lease on the server's own cluster (see fleet.go).
 func (s *Server) Submit(spec cli.Spec) (*JobStatus, error) {
+	if s.fleetAlloc != nil {
+		return s.submitFleet(spec)
+	}
 	g, c, err := resolveSpec(&spec)
 	if err != nil {
 		return nil, err
@@ -227,8 +257,8 @@ func (s *Server) Submit(spec cli.Spec) (*JobStatus, error) {
 	return s.admit(&job{spec: spec, graph: g, cluster: c, warmKey: warmKey(&spec, g, c)})
 }
 
-// resolveSpec validates the spec and builds its graph and cluster.
-func resolveSpec(spec *cli.Spec) (*graph.Graph, *cluster.Cluster, error) {
+// resolveSpec validates the spec and builds its graph and cluster view.
+func resolveSpec(spec *cli.Spec) (*graph.Graph, *cluster.View, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -240,7 +270,7 @@ func resolveSpec(spec *cli.Spec) (*graph.Graph, *cluster.Cluster, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return g, c, nil
+	return g, c.FullView(), nil
 }
 
 // admit assigns an ID, enqueues the job and records it.
@@ -314,12 +344,12 @@ func (s *Server) Replan(sourceID string, req ReplanRequest) (*JobStatus, error) 
 	spec.GPUs = 0
 	j := &job{spec: spec, replanOf: sourceID, graph: src.runner.Graph, cluster: nc,
 		warmKey: warmKey(&spec, src.runner.Graph, nc)}
-	j.spec.Cluster = describeCluster(nc)
+	j.spec.Cluster = describeCluster(nc.Cluster)
 	return s.admit(j)
 }
 
-// replanCluster builds the degraded cluster a replan request describes.
-func replanCluster(src *job, req ReplanRequest) (*cluster.Cluster, error) {
+// replanCluster builds the degraded cluster view a replan request describes.
+func replanCluster(src *job, req ReplanRequest) (*cluster.View, error) {
 	set := 0
 	if req.DropDevice != nil {
 		set++
@@ -337,10 +367,18 @@ func replanCluster(src *job, req ReplanRequest) (*cluster.Cluster, error) {
 	case req.DropDevice != nil:
 		return src.cluster.WithoutDevice(*req.DropDevice)
 	case req.Cluster != nil:
-		return req.Cluster.Build()
+		nc, err := req.Cluster.Build()
+		if err != nil {
+			return nil, err
+		}
+		return nc.FullView(), nil
 	default:
 		spec := cli.Spec{GPUs: req.GPUs}
-		return spec.BuildCluster()
+		nc, err := spec.BuildCluster()
+		if err != nil {
+			return nil, err
+		}
+		return nc.FullView(), nil
 	}
 }
 
@@ -397,6 +435,9 @@ func (s *Server) run(j *job) {
 	j.cancel = cancel
 	s.mu.Unlock()
 	defer cancel()
+	// Fleet mode: freeze the lease for the whole planning run (no-op
+	// otherwise). Must happen after JobRunning so late grants are ignored.
+	s.fleetPin(j)
 
 	err := func() (err error) {
 		// Panic isolation: a crashing job fails alone; the worker survives.
@@ -412,7 +453,6 @@ func (s *Server) run(j *job) {
 	}()
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j.finished = s.now()
 	switch {
 	case err == nil:
@@ -430,6 +470,10 @@ func (s *Server) run(j *job) {
 		j.failure = err
 	}
 	close(j.done)
+	s.mu.Unlock()
+	// Terminal either way: hand the lease back and let the fleet rebalance
+	// (applyGrants inside takes s.mu per grant, so the lock is dropped first).
+	s.fleetRelease(j)
 }
 
 // planOptions maps the spec's knobs onto the public Options.
@@ -480,11 +524,11 @@ func (s *Server) plan(ctx context.Context, j *job) error {
 		if src == nil || src.runner == nil {
 			return fmt.Errorf("service: replan source %s no longer available", j.replanOf)
 		}
-		runner, err = src.runner.Replan(j.cluster, opts...)
+		runner, err = src.runner.ReplanView(j.cluster, opts...)
 	} else {
 		model := func() (*graph.Graph, error) { return j.graph, nil }
 		input := func() (int, error) { return j.graph.BatchSize, nil }
-		runner, err = heterog.GetRunner(model, input, j.cluster, opts...)
+		runner, err = heterog.GetRunnerView(model, input, j.cluster, opts...)
 	}
 	if err != nil {
 		return err
@@ -545,12 +589,18 @@ func (s *Server) statusLocked(j *job) *JobStatus {
 		State:       j.state,
 		Model:       j.graph.Name,
 		Batch:       j.graph.BatchSize,
-		Cluster:     j.cluster.Name,
-		Devices:     j.cluster.NumDevices(),
 		ReplanOf:    j.replanOf,
 		Auto:        j.auto,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
+	}
+	// Fleet jobs have no cluster until a lease is granted.
+	if j.cluster != nil {
+		st.Cluster = j.cluster.Name
+		st.Devices = j.cluster.NumDevices()
+	}
+	if j.lease != nil {
+		st.Lease = j.lease.ID
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -658,15 +708,19 @@ func (s *Server) Cancel(id string) (*JobStatus, error) {
 		s.mu.Unlock()
 		return nil, ErrNotFound
 	}
+	var release bool
 	switch j.state {
-	case JobQueued:
-		// The worker that eventually pops this job sees the terminal state
-		// and skips it.
+	case JobWaiting, JobQueued:
+		// The worker that eventually pops this job (if it was ever enqueued)
+		// sees the terminal state and skips it. Waiting and queued fleet jobs
+		// give their queue slot or lease back right here; running ones
+		// release through run()'s terminal path once the cancel lands.
 		j.state = JobCanceled
 		j.err = "canceled by client"
 		j.finished = s.now()
 		j.started = j.finished
 		close(j.done)
+		release = true
 	case JobRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -674,6 +728,9 @@ func (s *Server) Cancel(id string) (*JobStatus, error) {
 	}
 	st := s.statusLocked(j)
 	s.mu.Unlock()
+	if release {
+		s.fleetRelease(j)
+	}
 	return st, nil
 }
 
@@ -691,6 +748,8 @@ func (s *Server) Stats() *ServerStats {
 	}
 	for _, j := range s.jobs {
 		switch j.state {
+		case JobWaiting:
+			st.Waiting++
 		case JobQueued:
 			st.Queued++
 		case JobRunning:

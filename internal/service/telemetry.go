@@ -55,6 +55,17 @@ const (
 	// failed, planning errored, job canceled); the watcher still rebases so
 	// the next drift re-arms the loop.
 	EventReplanFailed EventType = "replan-failed"
+
+	// EventLeaseGranted: the fleet allocator granted the job its first lease
+	// (fleet mode); Lease/LeaseDevices/Cluster describe the grant.
+	EventLeaseGranted EventType = "lease-granted"
+	// EventLeaseResized: the allocator replaced the job's lease with a
+	// grown or shrunken one while the job was still queued; Reason says which
+	// way and why.
+	EventLeaseResized EventType = "lease-resized"
+	// EventLeaseReleased: the job reached a terminal state and its devices
+	// went back to the fleet; Reason carries the terminal state.
+	EventLeaseReleased EventType = "lease-released"
 )
 
 // PlanEvent is one entry of a job's plan-update log. Seq is monotonically
@@ -69,8 +80,12 @@ type PlanEvent struct {
 	Reason string `json:"reason,omitempty"`
 	// ReplanJob is the ID of the automatic replan job (replan-* events).
 	ReplanJob string `json:"replan_job,omitempty"`
-	// Cluster names the overlaid cluster the replan targeted.
+	// Cluster names the overlaid cluster the replan targeted, or the lease
+	// view's canonical shape on lease-* events.
 	Cluster string `json:"cluster,omitempty"`
+	// Lease and LeaseDevices identify the fleet lease on lease-* events.
+	Lease        string `json:"lease,omitempty"`
+	LeaseDevices int    `json:"lease_devices,omitempty"`
 	// OldPerIterSec is the stale (incumbent) plan's per-iteration time on the
 	// drifted cluster; NewPerIterSec is the replanned plan's. Set on
 	// replan-adopted and replan-kept-incumbent.
@@ -163,20 +178,29 @@ func (s *Server) PushTelemetry(id string, readings []telemetry.Reading) (*Teleme
 	}
 	mon := j.mon
 	if mon == nil {
+		mon = newMonitor(nil, j.id)
+		j.mon = mon
+	}
+	// Fleet lease events may have created the monitor (watcherless) long
+	// before the first telemetry push; attach the drift watcher lazily.
+	// Lock ordering s.mu → mon.mu, consistent with fleetEventLocked.
+	mon.mu.Lock()
+	if mon.watcher == nil {
 		w, err := j.runner.Watcher()
 		if err != nil {
+			mon.mu.Unlock()
 			s.mu.Unlock()
 			return nil, err
 		}
-		mon = newMonitor(w, j.id)
-		j.mon = mon
+		mon.watcher = w
 	}
+	mon.mu.Unlock()
 	now := s.now()
 	s.mu.Unlock()
 
 	mon.mu.Lock()
 	before := mon.watcher.Observations()
-	fired, reason := mon.watcher.Observe(j.cluster, readings...)
+	fired, reason := mon.watcher.Observe(j.cluster.Cluster, readings...)
 	accepted := mon.watcher.Observations() - before
 	if fired {
 		mon.appendLocked(now, PlanEvent{Type: EventDriftDetected, Reason: reason})
@@ -241,7 +265,7 @@ func (s *Server) autoReplan(src *job, mon *monitor) {
 	re := &job{spec: spec, replanOf: incumbentID, auto: true,
 		graph: src.runner.Graph, cluster: drifted,
 		warmKey: warmKey(&spec, src.runner.Graph, drifted)}
-	re.spec.Cluster = describeCluster(drifted)
+	re.spec.Cluster = describeCluster(drifted.Cluster)
 
 	var err error
 	for attempt := 0; ; attempt++ {

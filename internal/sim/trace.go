@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"heterog/internal/cluster"
 	"heterog/internal/compiler"
 )
 
@@ -35,6 +36,16 @@ func WriteChromeTrace(w io.Writer, dg *compiler.DistGraph, res *Result) error {
 // reuse counts) next to the schedule it explains. A nil or empty map emits no
 // extra record.
 func WriteChromeTraceMeta(w io.Writer, dg *compiler.DistGraph, res *Result, extra map[string]string) error {
+	return WriteChromeTraceView(w, dg, res, nil, extra)
+}
+
+// WriteChromeTraceView is WriteChromeTraceMeta with fleet-aware GPU track
+// labels: when view is a non-full sub-cluster view (a lease carved from a
+// fleet), each GPU track additionally names the fleet device backing it
+// ("GPU1 = fleet G17"), so a trace taken inside a lease stays interpretable
+// against the fleet's device numbering. A nil or full view labels tracks by
+// local ID only, identical to WriteChromeTraceMeta.
+func WriteChromeTraceView(w io.Writer, dg *compiler.DistGraph, res *Result, view *cluster.View, extra map[string]string) error {
 	if len(res.Starts) < len(dg.Ops) {
 		return fmt.Errorf("sim: result does not cover the graph (%d starts for %d ops)", len(res.Starts), len(dg.Ops))
 	}
@@ -80,6 +91,9 @@ func WriteChromeTraceMeta(w io.Writer, dg *compiler.DistGraph, res *Result, extr
 		switch dg.UnitKindOf(u) {
 		case compiler.UnitGPU:
 			label = fmt.Sprintf("GPU%d (%s)", u, dg.Cluster.Devices[u].Model.Name)
+			if view != nil && !view.IsFull() {
+				label = fmt.Sprintf("GPU%d = fleet G%d (%s)", u, view.FleetID(u), dg.Cluster.Devices[u].Model.Name)
+			}
 		case compiler.UnitNCCL:
 			label = "NCCL"
 		}
