@@ -1,0 +1,89 @@
+package heterog_test
+
+// CI gate for the incremental-evaluation speedup (run via `make bench-smoke`,
+// which sets BENCH_SMOKE=1): the same seeded sequence of ≤2-edit mutation
+// episodes runs once through EvaluateDelta and once through EvaluateBounded,
+// and the wall-clock episode-throughput ratio must clear a hard 2x floor.
+// The recorded exhibit (BENCH_eval.json, incremental_64dev) runs well above
+// the floor; the margin absorbs machine noise without letting a real
+// regression — a broken memo, a fallback-to-full patch path — slip through.
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"heterog/internal/cluster"
+	"heterog/internal/core"
+	"heterog/internal/models"
+	"heterog/internal/strategy"
+)
+
+func TestIncrementalSpeedupGate(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("perf gate; set BENCH_SMOKE=1 (make bench-smoke) to run")
+	}
+	const episodes = 100
+	run := func(delta bool) (epsPerSec float64) {
+		g, err := models.VGG19(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := core.NewEvaluator(g, cluster.Testbed64().FullView(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Cache = nil // the gate measures the pipelines, not memoized repeats
+		ev.EnablePruning(nil)
+		if delta {
+			ev.EnableDelta(nil)
+		}
+		gr, err := strategy.Group(g, ev.Cost, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := strategy.Uniform(gr, strategy.Decision{Kind: strategy.DPEvenAR})
+		inc, err := ev.Evaluate(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := inc.Score()
+		rng := rand.New(rand.NewSource(7))
+		m := ev.Cluster.NumDevices()
+		start := time.Now()
+		for i := 0; i < episodes; i++ {
+			ds := append([]strategy.Decision(nil), cur.Decisions...)
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				d, err := strategy.DecisionFromAction(rng.Intn(strategy.ActionSpaceSize(m)), m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds[rng.Intn(len(ds))] = d
+			}
+			next := &strategy.Strategy{Grouping: gr, Decisions: ds}
+			var e *core.Evaluation
+			if delta {
+				e, err = ev.EvaluateDelta(next, bound)
+			} else {
+				e, err = ev.EvaluateBounded(next, bound)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.Pruned && e.Score() < bound {
+				bound = e.Score()
+				cur = next
+			}
+		}
+		return float64(episodes) / time.Since(start).Seconds()
+	}
+	incremental := run(true)
+	full := run(false)
+	ratio := incremental / full
+	t.Logf("incremental %.1f eps/s, full %.1f eps/s, ratio %.2fx", incremental, full, ratio)
+	if ratio < 2 {
+		t.Fatalf("incremental evaluation speedup %.2fx is below the 2x gate (incremental %.1f eps/s, full %.1f eps/s)",
+			ratio, incremental, full)
+	}
+}

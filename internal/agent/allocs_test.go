@@ -1,0 +1,34 @@
+package agent
+
+import "testing"
+
+// TestEpisodeLoopAllocs pins the episode loop's allocation budget. The loop
+// ran at ~18k allocs/episode before the flat successor-list construction and
+// the pooled decode buffers landed, and at ~12k after; the ceiling sits
+// between the two so a regression to per-edge adjacency growth or per-batch
+// scratch reallocation fails loudly while normal drift does not.
+func TestEpisodeLoopAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is exact but slow")
+	}
+	ev := smallEvaluator(t)
+	ev.Cache = nil // memoized repeats would hide lowering-path regressions
+	a, err := New(DefaultConfig(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the per-evaluator state so encoding (one-time) stays out of the
+	// steady-state measurement.
+	if _, err := a.RunEpisodes(ev, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := a.RunEpisodes(ev, 4, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 16000
+	if perEp := avg / 4; perEp > ceiling {
+		t.Fatalf("episode loop allocates %.0f objects/episode, ceiling %d", perEp, ceiling)
+	}
+}

@@ -192,7 +192,7 @@ func TestDecodeConsumesRNGPerGroup(t *testing.T) {
 	r1 := rand.New(rand.NewSource(7))
 	r2 := rand.New(rand.NewSource(7))
 	a.rng = r1
-	if _, _, err := a.decode(probs.Value, st.grouping, false); err != nil {
+	if _, _, err := a.decode(probs.Value, st.grouping, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.grouping.NumGroups(); i++ {

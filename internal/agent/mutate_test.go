@@ -1,0 +1,178 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"heterog/internal/core"
+	"heterog/internal/strategy"
+)
+
+func mutateAgent(t *testing.T, m int) *Agent {
+	t.Helper()
+	cfg := DefaultConfig(m)
+	cfg.Mutate = true
+	a, err := New(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// seedFromUniform seeds the agent's incumbent with a uniform-DP evaluation
+// under the agent's own grouping for ev.
+func seedFromUniform(t *testing.T, a *Agent, ev *core.Evaluator) *core.Evaluation {
+	t.Helper()
+	st, err := a.state(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := strategy.Uniform(st.grouping, strategy.Decision{Kind: strategy.DPEvenPS})
+	e, err := ev.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SeedIncumbent(ev, e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestMutationEpisodesUseDeltaPath pins the mutation-mode contract: once an
+// incumbent is seeded on a delta-armed evaluator, episode batches propose
+// bounded edits evaluated through EvaluateDelta (nil Dist, patch counters
+// advancing) and each result is bit-identical in score to a fresh full
+// evaluation of the same strategy.
+func TestMutationEpisodesUseDeltaPath(t *testing.T) {
+	ev := smallEvaluator(t)
+	ev.EnableDelta(nil)
+	evFull := smallEvaluator(t)
+	a := mutateAgent(t, 4)
+	seed := seedFromUniform(t, a, ev)
+	budget := a.mutationBudget()
+	st, err := a.state(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eps []*Episode
+	for batch := 0; batch < 3; batch++ {
+		// All proposals in a batch are decoded against the incumbent as of
+		// the batch boundary (rebasing happens after decoding).
+		base := append([]strategy.Decision(nil), st.incStrategy.Decisions...)
+		out, err := a.RunEpisodes(ev, 4, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ep := range out {
+			diff := 0
+			for gi, d := range ep.Strategy.Decisions {
+				if d != base[gi] {
+					diff++
+				}
+			}
+			if diff > budget {
+				t.Fatalf("batch %d episode %d: %d groups edited, budget %d", batch, i, diff, budget)
+			}
+		}
+		eps = append(eps, out...)
+	}
+	for i, ep := range eps {
+		if ep.FastPass {
+			t.Fatalf("episode %d: halving must be skipped in mutation mode", i)
+		}
+		if ep.Eval.Dist != nil {
+			t.Fatalf("episode %d: mutation episodes must not carry a DistGraph", i)
+		}
+		want, err := evFull.Evaluate(ep.Strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.Eval.Score() != want.Score() || ep.Eval.PerIter != want.PerIter {
+			t.Fatalf("episode %d: delta score %v (per-iter %v), full %v (%v)",
+				i, ep.Eval.Score(), ep.Eval.PerIter, want.Score(), want.PerIter)
+		}
+	}
+	if st.incScore > seed.Score() {
+		t.Fatalf("incumbent regressed: %v > seed %v", st.incScore, seed.Score())
+	}
+	rep := ev.PipelineReport().Pruning
+	if rep.DeltaCompiles == 0 {
+		t.Fatalf("mutation episodes never hit the patch path: %+v", rep)
+	}
+}
+
+// TestMutationRebasesOnImprovement checks the incumbent tracks the best
+// non-pruned episode score seen so far, strictly.
+func TestMutationRebasesOnImprovement(t *testing.T) {
+	ev := smallEvaluator(t)
+	ev.EnableDelta(nil)
+	a := mutateAgent(t, 4)
+	seed := seedFromUniform(t, a, ev)
+	best := seed.Score()
+	for batch := 0; batch < 4; batch++ {
+		eps, err := a.RunEpisodes(ev, 4, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			if !ep.Eval.Pruned && ep.Eval.Score() < best {
+				best = ep.Eval.Score()
+			}
+		}
+	}
+	st, err := a.state(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.incScore != best {
+		t.Fatalf("incumbent score %v, want best seen %v", st.incScore, best)
+	}
+	wantPicks := make([]int, len(st.incStrategy.Decisions))
+	for i, d := range st.incStrategy.Decisions {
+		wantPicks[i] = d.ActionIndex(a.m)
+	}
+	for i, p := range st.incPicks {
+		if p != wantPicks[i] {
+			t.Fatalf("group %d: incumbent picks out of sync with strategy (%d != %d)", i, p, wantPicks[i])
+		}
+	}
+}
+
+// TestMutationWithoutSeedFallsBack keeps Mutate safe to set blind: with no
+// incumbent the batch decodes full strategies exactly like the default path.
+func TestMutationWithoutSeedFallsBack(t *testing.T) {
+	ev := smallEvaluator(t)
+	ev.EnableDelta(nil)
+	a := mutateAgent(t, 4)
+	eps, err := a.RunEpisodes(ev, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		if ep.Eval.Dist == nil {
+			t.Fatal("without an incumbent the full evaluation path must run")
+		}
+	}
+}
+
+// TestPlanMutationMode exercises the end-to-end loop: heuristic seeding, delta
+// episode batches, and a fully re-evaluated winner.
+func TestPlanMutationMode(t *testing.T) {
+	ev := smallEvaluator(t)
+	ev.EnableDelta(nil)
+	a := mutateAgent(t, 4)
+	e, err := a.Plan(ev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Dist == nil {
+		t.Fatal("Plan must ship a winner with a full DistGraph")
+	}
+	if math.IsInf(e.Score(), 0) || math.IsNaN(e.Score()) {
+		t.Fatalf("winner score %v", e.Score())
+	}
+	rep := ev.PipelineReport().Pruning
+	if rep.DeltaCompiles == 0 {
+		t.Fatalf("mutation-mode Plan never used the delta path: %+v", rep)
+	}
+}

@@ -224,9 +224,26 @@ func (dg *DistGraph) Validate() error {
 	return nil
 }
 
-// Successors builds the successor lists indexed by dense dist-op ID.
+// Successors builds the successor lists indexed by dense dist-op ID. The
+// lists share one backing array sized by a counting pass — callers rebuild
+// them every ordering/verification round, so per-edge append growth would
+// dominate the planner's allocation profile.
 func (dg *DistGraph) Successors() [][]*DistOp {
+	counts := make([]int, len(dg.Ops))
+	total := 0
+	for _, op := range dg.Ops {
+		for _, in := range op.Inputs {
+			counts[in.ID]++
+			total++
+		}
+	}
+	flat := make([]*DistOp, total)
 	succ := make([][]*DistOp, len(dg.Ops))
+	off := 0
+	for id, c := range counts {
+		succ[id] = flat[off : off : off+c]
+		off += c
+	}
 	for _, op := range dg.Ops {
 		for _, in := range op.Inputs {
 			succ[in.ID] = append(succ[in.ID], op)
@@ -237,8 +254,14 @@ func (dg *DistGraph) Successors() [][]*DistOp {
 
 // TopoOrder returns dist ops in dependency order.
 func (dg *DistGraph) TopoOrder() []*DistOp {
+	return dg.TopoOrderFrom(dg.Successors())
+}
+
+// TopoOrderFrom is TopoOrder over successor lists the caller already built —
+// rank computation and the verification passes walk both and would otherwise
+// pay for the adjacency construction twice.
+func (dg *DistGraph) TopoOrderFrom(succ [][]*DistOp) []*DistOp {
 	indeg := make([]int, len(dg.Ops))
-	succ := dg.Successors()
 	for _, op := range dg.Ops {
 		indeg[op.ID] = len(op.Inputs)
 	}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
@@ -318,5 +319,74 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 	wg.Wait()
 	if st := a.Snapshot(); len(st.Leases) != 0 || len(st.Waiting) != 0 || st.FreeDevices != st.TotalDevices {
 		t.Fatalf("fleet should be fully free after all releases: %+v", st)
+	}
+}
+
+// TestSeededChurnNeverStarvesWaiters hammers the allocator with a seeded
+// submit/release churn on the 64-GPU fleet while incumbents grow elastically
+// onto idle capacity, and holds the FIFO-admission starvation invariant after
+// every operation: a job may only ever be waiting while the free pool cannot
+// cover its minimum. The final drain proves every job still queued when the
+// churn stops is eventually admitted.
+func TestSeededChurnNeverStarvesWaiters(t *testing.T) {
+	g := testGraph(t)
+	// Mild comm weight: growth stays profitable across several servers, so
+	// incumbents absorb the idle fleet and every arrival has to reclaim its
+	// minimum back out of elastic grants.
+	a := New(cluster.Testbed64(), fakeEstimate(0.05))
+	rng := rand.New(rand.NewSource(20260808))
+	min := map[string]int{}
+	var live []string
+	next := 0
+
+	checkNoStarvation := func(op string) {
+		t.Helper()
+		snap := a.Snapshot()
+		for _, w := range snap.Waiting {
+			if snap.FreeDevices >= min[w] {
+				t.Fatalf("%s: job %s waits for %d devices while %d sit free", op, w, min[w], snap.FreeDevices)
+			}
+		}
+	}
+
+	for i := 0; i < 300; i++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			id := fmt.Sprintf("job-%d", next)
+			next++
+			m := 1 + rng.Intn(24)
+			if _, err := a.Submit(JobSpec{ID: id, Graph: g, Seed: 1, MinDevices: m}); err != nil {
+				t.Fatalf("submit %s: %v", id, err)
+			}
+			live = append(live, id)
+			min[id] = m
+			checkNoStarvation("submit " + id)
+		} else {
+			k := rng.Intn(len(live))
+			id := live[k]
+			live = append(live[:k], live[k+1:]...)
+			a.Release(id)
+			checkNoStarvation("release " + id)
+		}
+	}
+
+	// Drain: release running jobs one at a time; completion rebalance must
+	// admit every waiter before the fleet goes idle.
+	for rounds := 0; ; rounds++ {
+		snap := a.Snapshot()
+		if len(snap.Leases) == 0 {
+			if len(snap.Waiting) > 0 {
+				t.Fatalf("whole fleet free but jobs still waiting: %v", snap.Waiting)
+			}
+			break
+		}
+		if rounds > 2*len(min) {
+			t.Fatalf("drain did not terminate: %d leases, %d waiting", len(snap.Leases), len(snap.Waiting))
+		}
+		id := snap.Leases[0].Job
+		a.Release(id)
+		checkNoStarvation("drain release " + id)
+	}
+	if st := a.Snapshot(); st.FreeDevices != st.TotalDevices {
+		t.Fatalf("fleet must be fully free after the drain: %+v", st)
 	}
 }

@@ -69,7 +69,10 @@ func (VerifyPass) Run(a *Artifacts) error {
 	if err := verifyStructure(dg); err != nil {
 		return err
 	}
-	if err := verifyAcyclic(dg); err != nil {
+	// One adjacency build serves the cycle check and the refcount replay —
+	// this pass runs per evaluation, so the construction cost is hot.
+	succ := dg.Successors()
+	if err := verifyAcyclic(dg, succ); err != nil {
 		return err
 	}
 	if err := verifyTransfers(a); err != nil {
@@ -78,7 +81,7 @@ func (VerifyPass) Run(a *Artifacts) error {
 	if err := verifyConcats(a); err != nil {
 		return err
 	}
-	if err := verifyMemory(a); err != nil {
+	if err := verifyMemory(a, succ); err != nil {
 		return err
 	}
 	a.note(len(dg.Ops), 0)
@@ -124,12 +127,11 @@ func verifyStructure(dg *compiler.DistGraph) error {
 }
 
 // verifyAcyclic runs Kahn's algorithm over the dependency edges.
-func verifyAcyclic(dg *compiler.DistGraph) error {
+func verifyAcyclic(dg *compiler.DistGraph, succ [][]*compiler.DistOp) error {
 	indeg := make([]int, len(dg.Ops))
 	for _, op := range dg.Ops {
 		indeg[op.ID] = len(op.Inputs)
 	}
-	succ := dg.Successors()
 	queue := make([]*compiler.DistOp, 0, len(dg.Ops))
 	for _, op := range dg.Ops {
 		if indeg[op.ID] == 0 {
@@ -263,7 +265,7 @@ func verifyConcats(a *Artifacts) error {
 // activation buffer), then replays the simulator's refcounted allocation
 // discipline in topological order to prove transient buffers return to the
 // persistent baseline.
-func verifyMemory(a *Artifacts) error {
+func verifyMemory(a *Artifacts, succ [][]*compiler.DistOp) error {
 	dg := a.Dist
 	want := persistentBytes(a)
 	if len(want) != len(dg.PersistentBytes) {
@@ -297,7 +299,7 @@ func verifyMemory(a *Artifacts) error {
 	}
 	refs := append([]int(nil), consumers...)
 	mem := make([]int64, len(dg.PersistentBytes))
-	for _, op := range dg.TopoOrder() {
+	for _, op := range dg.TopoOrderFrom(succ) {
 		if op.MemDevice >= 0 && op.OutBytes > 0 {
 			mem[op.MemDevice] += op.OutBytes
 		}

@@ -16,8 +16,8 @@ import (
 //
 // indexed by DistOp.ID. Higher rank means schedule earlier.
 func Ranks(dg *compiler.DistGraph) []float64 {
-	order := dg.TopoOrder()
 	succ := dg.Successors()
+	order := dg.TopoOrderFrom(succ)
 	ranks := make([]float64, len(order))
 	for i := len(order) - 1; i >= 0; i-- {
 		op := order[i]

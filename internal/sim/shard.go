@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"heterog/internal/compiler"
+)
+
+// ShardMinUnits is the default big-cluster threshold: sharded dispatch only
+// pays for its barrier when the unit count is large (Testbed64 has hundreds
+// of NIC lanes, PCIe buses and GPUs to scan per round). Callers use it to
+// decide between Run and the sharded mode.
+const ShardMinUnits = 96
+
+// ShardedSimulator is a Simulator whose dispatch scan is partitioned across
+// worker goroutines. Every dispatch round runs in two phases:
+//
+//	Phase A (parallel, read-only): workers scan disjoint unit ranges against
+//	a frozen busy snapshot and flag units that might start work — a unit is
+//	flagged when some non-started queued item has every execution unit free.
+//	Within one round busy bits only get set, never cleared, so any op the
+//	sequential pass would start satisfies the snapshot check too: the flags
+//	are a superset of the units sequential dispatch acts on.
+//
+//	Phase B (sequential): the unmodified dispatchUnit runs over flagged units
+//	in ascending order — exactly the sequential loop minus provably idle
+//	units. Unflagged units skip only lazy heap cleanup (dropping started
+//	items, re-pushing blocked ones), which is heap-layout-only: pop order is
+//	a total order on (priority, seq), so observable scheduling is unchanged.
+//
+// Results are therefore bit-identical to the sequential Simulator. The win is
+// Phase A: on big-M clusters the per-round scan over hundreds of unit queues
+// dominates, and it parallelizes embarrassingly. On small clusters (or few
+// cores) the barrier overhead can exceed the scan — callers should consult
+// ShardMinUnits. A ShardedSimulator is NOT safe for concurrent use.
+type ShardedSimulator struct {
+	Simulator
+	shards int
+	flags  []bool
+	bounds []int // shards+1 unit-range offsets, rebuilt per run
+}
+
+// NewShardedSimulator returns a reusable sharded simulator. shards <= 0 picks
+// GOMAXPROCS.
+func NewShardedSimulator(shards int) *ShardedSimulator {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return &ShardedSimulator{shards: shards}
+}
+
+// Shards returns the worker count.
+func (s *ShardedSimulator) Shards() int { return s.shards }
+
+// scan computes flags for units [lo, hi): true when dispatchUnit could start
+// something given the frozen busy snapshot. Read-only on shared state.
+func (s *ShardedSimulator) scan(lo, hi int) {
+	for u := lo; u < hi; u++ {
+		s.flags[u] = false
+		if s.busy[u] {
+			continue
+		}
+		for _, it := range s.queues[u] {
+			if !it.started && s.canStart(it.op) {
+				s.flags[u] = true
+				break
+			}
+		}
+	}
+}
+
+// Run is the sharded counterpart of Simulator.Run.
+func (s *ShardedSimulator) Run(dg *compiler.DistGraph, priorities []float64) (*Result, error) {
+	return s.RunBounded(dg, priorities, math.Inf(1))
+}
+
+// RunBounded simulates with sharded dispatch scanning; semantics (including
+// the early abort) match Simulator.RunBounded bit for bit.
+func (s *ShardedSimulator) RunBounded(dg *compiler.DistGraph, priorities []float64, bound float64) (*Result, error) {
+	if s.shards <= 1 {
+		return s.Simulator.RunBounded(dg, priorities, bound)
+	}
+	if bound <= 0 {
+		bound = math.Inf(1)
+	}
+	n := len(dg.Ops)
+	if len(priorities) < n {
+		return s.Simulator.RunBounded(dg, priorities, bound) // same error path
+	}
+	s.reset(dg, priorities)
+
+	numUnits := len(s.queues)
+	if cap(s.flags) < numUnits {
+		s.flags = make([]bool, numUnits)
+	}
+	s.flags = s.flags[:numUnits]
+	if cap(s.bounds) < s.shards+1 {
+		s.bounds = make([]int, s.shards+1)
+	}
+	s.bounds = s.bounds[:s.shards+1]
+	for i := 0; i <= s.shards; i++ {
+		s.bounds[i] = i * numUnits / s.shards
+	}
+
+	// Per-run workers: each owns one unit range and rescans it every round.
+	// Channel handshakes give the happens-before edges that make Phase A's
+	// reads of busy/queues race-free against Phase B's writes.
+	reqs := make([]chan struct{}, s.shards)
+	var wg sync.WaitGroup
+	acks := make(chan struct{}, s.shards)
+	for i := 0; i < s.shards; i++ {
+		reqs[i] = make(chan struct{}, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for range reqs[i] {
+				s.scan(s.bounds[i], s.bounds[i+1])
+				acks <- struct{}{}
+			}
+		}(i)
+	}
+	stop := func() {
+		for _, c := range reqs {
+			close(c)
+		}
+		wg.Wait()
+	}
+	dispatch := func(now float64) {
+		for _, c := range reqs {
+			c <- struct{}{}
+		}
+		for i := 0; i < s.shards; i++ {
+			<-acks
+		}
+		for u, f := range s.flags {
+			if f {
+				s.dispatchUnit(u, now)
+			}
+		}
+	}
+
+	for _, op := range dg.Ops {
+		if s.indeg[op.ID] == 0 {
+			s.enqueue(op)
+		}
+	}
+	now := 0.0
+	dispatch(now)
+	for len(s.events) > 0 {
+		ev := s.events.pop()
+		now = ev.time
+		if now > bound {
+			stop()
+			return nil, ErrBoundExceeded
+		}
+		s.complete(ev.op, now)
+		for len(s.events) > 0 && s.events[0].time == now {
+			ev2 := s.events.pop()
+			s.complete(ev2.op, now)
+		}
+		dispatch(now)
+	}
+	stop()
+	if s.done != n {
+		return nil, deadlockErr(s.done, n)
+	}
+	return s.finish(dg, now), nil
+}
+
+// shardPool recycles sharded simulators (GOMAXPROCS workers each) across
+// package-level calls. Workers are per-run goroutines, so pooled instances
+// hold no live goroutines between runs.
+var shardPool = sync.Pool{New: func() any { return NewShardedSimulator(0) }}
+
+// RunBoundedSharded is the pooled one-shot sharded runner: bit-identical to
+// RunBounded, with the dispatch scan spread over GOMAXPROCS workers. Intended
+// for big-M graphs (see ShardMinUnits).
+func RunBoundedSharded(dg *compiler.DistGraph, priorities []float64, bound float64) (*Result, error) {
+	s := shardPool.Get().(*ShardedSimulator)
+	res, err := s.RunBounded(dg, priorities, bound)
+	if err != nil {
+		shardPool.Put(s)
+		return nil, err
+	}
+	out := res.Clone()
+	shardPool.Put(s)
+	return out, nil
+}

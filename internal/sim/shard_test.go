@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterog/internal/cluster"
+	"heterog/internal/compiler"
+	"heterog/internal/models"
+	"heterog/internal/plan"
+	"heterog/internal/profile"
+	"heterog/internal/sched"
+	"heterog/internal/strategy"
+)
+
+// shardCase compiles one model onto Testbed64 under a seeded random mixed
+// strategy — the big-M regime sharded dispatch exists for.
+func shardCase(t *testing.T, key string, batch int, seed int64) (*compiler.DistGraph, []float64) {
+	t.Helper()
+	g, err := models.Build(key, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.Testbed64()
+	cm, err := profile.Profile(g, c, profile.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := strategy.Group(g, cm, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := c.NumDevices()
+	ds := make([]strategy.Decision, gr.NumGroups())
+	for i := range ds {
+		d, err := strategy.DecisionFromAction(rng.Intn(strategy.ActionSpaceSize(m)), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = d
+	}
+	s := &strategy.Strategy{Grouping: gr, Decisions: ds}
+	dg, err := plan.CompileIter(g, c, s, cm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dg, sched.Ranks(dg)
+}
+
+// TestShardedBitIdenticalOnTestbed64 pins the tentpole invariant: sharded
+// dispatch must reproduce the sequential schedule exactly, for ranked and
+// FIFO priorities, across worker counts.
+func TestShardedBitIdenticalOnTestbed64(t *testing.T) {
+	for _, tc := range []struct {
+		key   string
+		batch int
+		seed  int64
+	}{
+		{"vgg19", 256, 11},
+		{"mobilenet_v2", 128, 12},
+	} {
+		dg, ranked := shardCase(t, tc.key, tc.batch, tc.seed)
+		if dg.NumUnits() < ShardMinUnits {
+			t.Fatalf("%s: Testbed64 graph has %d units, below ShardMinUnits=%d — threshold is miscalibrated", tc.key, dg.NumUnits(), ShardMinUnits)
+		}
+		for _, pr := range [][]float64{ranked, sched.FIFO(dg)} {
+			want, err := Run(dg, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 3, 8} {
+				s := NewShardedSimulator(shards)
+				got, err := s.Run(dg, pr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, want, got, tc.key)
+			}
+			pooled, err := RunBoundedSharded(dg, pr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, want, pooled, tc.key+" pooled")
+		}
+	}
+}
+
+// TestShardedReuseBitIdentical runs two different workloads through one
+// reused sharded simulator, interleaved, against fresh sequential baselines.
+func TestShardedReuseBitIdentical(t *testing.T) {
+	dgA, prA := shardCase(t, "vgg19", 256, 21)
+	dgB, prB := shardCase(t, "mobilenet_v2", 128, 22)
+	wantA, err := Run(dgA, prA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := Run(dgB, prB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShardedSimulator(4)
+	for i := 0; i < 3; i++ {
+		gotA, err := s.Run(dgA, prA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, wantA, gotA, "reused sharded A")
+		gotB, err := s.Run(dgB, prB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, wantB, gotB, "reused sharded B")
+	}
+}
+
+// TestShardedBoundedAbortMatchesSequential checks the early-abort contract
+// carries over: same sentinel below the makespan, same result above it.
+func TestShardedBoundedAbortMatchesSequential(t *testing.T) {
+	dg, pr := shardCase(t, "vgg19", 256, 31)
+	want, err := Run(dg, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewShardedSimulator(4)
+	if _, err := s.RunBounded(dg, pr, want.Makespan/2); err != ErrBoundExceeded {
+		t.Fatalf("half-makespan bound: err %v, want ErrBoundExceeded", err)
+	}
+	got, err := s.RunBounded(dg, pr, want.Makespan*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got, "bounded sharded")
+}
+
+// TestShardedMoreWorkersThanUnits degenerates gracefully: empty shard ranges
+// must not deadlock or skew results.
+func TestShardedMoreWorkersThanUnits(t *testing.T) {
+	ty := newToy(2)
+	a := ty.op(0, 1, 0)
+	b := ty.op(1, 2, 0, a)
+	ty.op(0, 3, 0, b)
+	want, err := Run(ty.dg, uniformPr(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewShardedSimulator(16).Run(ty.dg, uniformPr(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got, "toy")
+}

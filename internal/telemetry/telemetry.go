@@ -86,6 +86,12 @@ type Thresholds struct {
 	// fingerprint. A fully recovered overlay quantizes back to the identity,
 	// reattaching replans to the original workload's warm set.
 	Quantum float64 `json:"quantum,omitempty"`
+	// Cooldown suppresses any new trip until this many further readings have
+	// been folded in since the last one, so a metric flapping across the
+	// trigger band cannot convert every oscillation into a replan. It is
+	// counted in observations, not wall time — the watcher has no clock.
+	// 0 disables the window.
+	Cooldown int `json:"cooldown,omitempty"`
 }
 
 // Normalize returns the thresholds with zero knobs replaced by defaults.
@@ -139,6 +145,9 @@ func (t Thresholds) Validate() error {
 	if n.Quantum <= 0 || n.Quantum > 0.5 {
 		return fmt.Errorf("telemetry: quantum must be in (0,0.5], got %g", n.Quantum)
 	}
+	if n.Cooldown < 0 {
+		return fmt.Errorf("telemetry: cooldown must be >= 0, got %d", n.Cooldown)
+	}
 	return nil
 }
 
@@ -163,6 +172,9 @@ type Watcher struct {
 
 	tripped bool
 	reason  string
+	// lastTrip is the observation count when the watcher last fired; the
+	// cooldown window measures from here.
+	lastTrip uint64
 	// counters
 	observations uint64
 	trips        uint64
@@ -216,7 +228,8 @@ func (w *Watcher) linkIndex(c *cluster.Cluster, src, dst int) int {
 // given cluster (used only to resolve link endpoints to indices) and reports
 // whether this batch newly tripped the watcher, with a human-readable reason
 // naming the metric that crossed the band. While already tripped, further
-// drift never re-fires; Rebase re-arms.
+// drift never re-fires; Rebase re-arms, and after a trip the Cooldown window
+// must also elapse (counted in folded observations) before the next fire.
 //
 // Malformed readings (out-of-range IDs, non-positive factors) are skipped,
 // not fatal: telemetry is advisory, and one bad sensor must not wedge the
@@ -251,10 +264,16 @@ func (w *Watcher) Observe(c *cluster.Cluster, readings ...Reading) (fired bool, 
 	if w.tripped {
 		return false, w.reason
 	}
+	if w.th.Cooldown > 0 && w.trips > 0 && w.observations-w.lastTrip < uint64(w.th.Cooldown) {
+		// Inside the cooldown window after the previous trip: drift keeps
+		// folding into the smoothed state but cannot fire yet.
+		return false, ""
+	}
 	if r := w.deviationPast(trigger); r != "" {
 		w.tripped = true
 		w.reason = r
 		w.trips++
+		w.lastTrip = w.observations
 		return true, r
 	}
 	return false, ""

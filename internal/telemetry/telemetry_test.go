@@ -103,6 +103,41 @@ func TestWatcherStepChangeFiresExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestWatcherCooldownSuppressesFlappingReplans drives the full monitor loop
+// (fire → replan → Rebase) against a reading that flaps across the trigger
+// every observation. Each Rebase adopts the flapped value as baseline, so the
+// next swing is a fresh drift episode: without a cooldown the burst converts
+// into a replan storm, with one it fires exactly once.
+func TestWatcherCooldownSuppressesFlappingReplans(t *testing.T) {
+	c := cluster.Testbed4()
+	run := func(cooldown int) int {
+		// Alpha 1 disables smoothing so every flap lands unattenuated — the
+		// worst case the cooldown window exists for.
+		w := NewWatcher(c, Thresholds{Alpha: 1, Cooldown: cooldown})
+		replans := 0
+		for i := 0; i < 40; i++ {
+			v := 1.0
+			if i%2 == 1 {
+				v = 1.6 // across the 1.25 trigger and back, every reading
+			}
+			if obsDevice(w, c, 0, v) {
+				replans++
+				w.Rebase()
+			}
+		}
+		return replans
+	}
+	if n := run(0); n < 2 {
+		t.Fatalf("control run without cooldown produced %d replans; the flapping must storm for the window to matter", n)
+	}
+	if n := run(100); n != 1 {
+		t.Fatalf("flapping burst with a covering cooldown produced %d replans, want exactly 1", n)
+	}
+	if n := run(10); n < 2 {
+		t.Fatalf("a short cooldown must expire and re-arm within the burst, got %d replans", n)
+	}
+}
+
 // TestWatcherLinkDrift: congestion on one link trips the link band, and the
 // overlay carries the quantized factor at the right dense index.
 func TestWatcherLinkDrift(t *testing.T) {
