@@ -1,0 +1,22 @@
+# Build stage: the repo is stdlib-only, so the module cache stays empty and
+# the build is fully reproducible from the source tree alone.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/heterog-serve ./cmd/heterog-serve \
+ && CGO_ENABLED=0 go build -trimpath -o /out/heterog-route ./cmd/heterog-route
+
+# Runtime stage: static binaries on a bare base. The entrypoint is the
+# planning server; the router image is the same artifact with the command
+# overridden (see docker-compose.yml).
+FROM alpine:3.20
+RUN adduser -D -u 10001 heterog && mkdir -p /data && chown heterog /data
+COPY --from=build /out/heterog-serve /out/heterog-route /usr/local/bin/
+USER heterog
+# /data is the durable store: journaled jobs, event logs, leases and warm
+# artifacts survive container restarts when it is a volume.
+VOLUME /data
+EXPOSE 7070
+ENTRYPOINT ["heterog-serve"]
+CMD ["-addr", ":7070", "-store", "/data"]

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-smoke bench-robust bench-pipeline bench-serve bench-replan bench-fleet
+.PHONY: check vet lint build test race bench bench-smoke bench-robust bench-pipeline bench-serve bench-replan bench-fleet bench-durable
 
 # check is the tier-1 verification entry point: static analysis, build, the
 # full test suite, and the race detector over the concurrency-sensitive
@@ -32,11 +32,13 @@ test:
 # path (plus the fault/robustness machinery feeding it, the planning service
 # whose worker pool shares warm caches across jobs, the telemetry watcher and
 # event log hammered by concurrent pushes, the delta-compilation state in
-# internal/plan, and the sharded simulator dispatch in internal/sim); running
-# the whole tree under -race multiplies the RL/experiment test time ~10x for
-# no extra coverage, so it is scoped deliberately.
+# internal/plan, the sharded simulator dispatch in internal/sim, the durable
+# store written from handlers/workers/monitors at once, and the front router
+# refreshing its backend view under concurrent submissions); running the
+# whole tree under -race multiplies the RL/experiment test time ~10x for no
+# extra coverage, so it is scoped deliberately.
 race:
-	$(GO) test -race ./internal/agent/... ./internal/cluster/... ./internal/evalcache/... ./internal/core/... ./internal/fleet/... ./internal/plan/... ./internal/sim/... ./internal/faults/... ./internal/service/... ./internal/telemetry/...
+	$(GO) test -race ./internal/agent/... ./internal/cluster/... ./internal/evalcache/... ./internal/core/... ./internal/fleet/... ./internal/plan/... ./internal/sim/... ./internal/faults/... ./internal/service/... ./internal/store/... ./internal/router/... ./internal/telemetry/...
 
 # bench regenerates the evaluation fast-path numbers recorded in
 # BENCH_eval.json. The mutation-episode pair runs separately at a fixed
@@ -86,3 +88,13 @@ bench-replan:
 # Exits non-zero when the aggregate speedup drops below the threshold.
 bench-fleet:
 	$(GO) run ./cmd/heterog-serve -fleetbench -out BENCH_fleet.json
+
+# bench-durable regenerates the durable-serving exhibit recorded in
+# BENCH_durable.json: a real heterog-serve subprocess on a file store is
+# SIGKILLed mid-batch and must recover every accepted job with gap-free event
+# logs after restart, then 3 replicas behind the affinity router are measured
+# against a single replica on a warm-capacity-bound workload mix. Exits
+# non-zero on any lost job, any event-log gap, or aggregate throughput below
+# 1.5x one replica.
+bench-durable:
+	$(GO) run ./cmd/heterog-serve -durablebench -out BENCH_durable.json

@@ -1,0 +1,410 @@
+package main
+
+// The durable-serving exhibit behind `make bench-durable`, in two acts.
+//
+// Act 1 — kill and restart. A real heterog-serve subprocess runs in fleet
+// mode on a file store; the bench submits a batch of jobs, waits until some
+// are done and some still in flight, and SIGKILLs the process — no drain, no
+// goodbye, exactly what a node failure looks like. A second process on the
+// same store directory must come back ready, re-queue every unfinished job,
+// and drive all of them to terminal states with gap-free event sequence
+// numbers across the restart (the lease events from the first life and the
+// job-recovered + lease events from the second share one dense log).
+//
+// Act 2 — horizontal warm capacity. One replica with a small warm-set budget
+// thrashes when the workload mix exceeds it: every plan is cold. Three
+// replicas behind the affinity router partition the mix, so each workload
+// lands on the replica that already holds its warm caches. On a single-CPU
+// host this is the honest scaling story: the ≥1.5x aggregate throughput
+// comes from cache capacity, not parallelism (jobs are submitted one at a
+// time; no two plans ever overlap).
+//
+// The run exits non-zero when a job is lost, an event log has gaps, or the
+// multi-replica throughput ratio falls below -durable-threshold: CI gates on
+// this.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/router"
+	"heterog/internal/service"
+)
+
+type durableBenchOutput struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	Recovery    recoveryResult   `json:"recovery"`
+	Throughput  throughputResult `json:"throughput"`
+	Pass        bool             `json:"pass"`
+}
+
+type recoveryResult struct {
+	JobsSubmitted   int     `json:"jobs_submitted"`
+	DoneBeforeKill  int     `json:"done_before_kill"`
+	JobsAfterCrash  int     `json:"jobs_after_restart"`
+	JobsLost        int     `json:"jobs_lost"`
+	Requeued        int     `json:"requeued"`
+	EventLogs       int     `json:"event_logs_checked"`
+	EventGaps       int     `json:"event_gaps"`
+	RestartReadySec float64 `json:"restart_ready_sec"`
+	AllTerminalSec  float64 `json:"all_terminal_sec"`
+}
+
+type throughputResult struct {
+	Workloads      int     `json:"workloads"`
+	Rounds         int     `json:"rounds"`
+	Replicas       int     `json:"replicas"`
+	WarmSetsEach   int     `json:"warm_sets_per_replica"`
+	SingleSec      float64 `json:"single_sec"`
+	MultiSec       float64 `json:"multi_sec"`
+	Ratio          float64 `json:"ratio"`
+	Threshold      float64 `json:"threshold"`
+	PeerWarmStarts uint64  `json:"peer_warm_starts"`
+	PeerExported   uint64  `json:"peer_exported"`
+}
+
+func runDurableBench(out string, threshold float64) error {
+	rec, err := runRecoveryAct()
+	if err != nil {
+		return fmt.Errorf("durablebench recovery: %w", err)
+	}
+	thr, err := runThroughputAct(threshold)
+	if err != nil {
+		return fmt.Errorf("durablebench throughput: %w", err)
+	}
+
+	bench := durableBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Recovery:    *rec,
+		Throughput:  *thr,
+		Pass:        rec.JobsLost == 0 && rec.EventGaps == 0 && thr.Ratio >= threshold,
+	}
+	raw, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("durablebench: wrote %s", out)
+	if rec.JobsLost > 0 {
+		return fmt.Errorf("restart lost %d of %d jobs", rec.JobsLost, rec.JobsSubmitted)
+	}
+	if rec.EventGaps > 0 {
+		return fmt.Errorf("%d event logs have sequence gaps across the restart", rec.EventGaps)
+	}
+	if thr.Ratio < threshold {
+		return fmt.Errorf("3-replica throughput only %.2fx one replica (need >= %.2fx)", thr.Ratio, threshold)
+	}
+	log.Printf("durablebench: PASS — 0 jobs lost, 0 event gaps, %.2fx multi-replica throughput (threshold %.2fx)",
+		thr.Ratio, threshold)
+	return nil
+}
+
+// spawnServe starts a real heterog-serve subprocess on a file store and waits
+// for readiness, returning the process and a client for it.
+func spawnServe(dir string) (*exec.Cmd, *service.Client, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	addrFile := filepath.Join(dir, "addr")
+	_ = os.Remove(addrFile)
+	cmd := exec.Command(exe,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-store", filepath.Join(dir, "store"),
+		"-fleet-gpus", "8",
+		"-workers", "1",
+		"-node", "r1",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			client := service.NewClient("http://" + string(raw))
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			err := client.Readyz(ctx)
+			cancel()
+			if err == nil {
+				return cmd, client, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return nil, nil, fmt.Errorf("subprocess not ready within 30s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func runRecoveryAct() (*recoveryResult, error) {
+	dir, err := os.MkdirTemp("", "durablebench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	log.Printf("durablebench: act 1 — kill and restart on a file store (%s)", dir)
+	cmd, client, err := spawnServe(dir)
+	if err != nil {
+		return nil, err
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	const n = 6
+	var ids []string
+	for i := 0; i < n; i++ {
+		st, err := client.Submit(ctx, cli.Spec{Model: "vgg19", Batch: 32 + 16*i, Seed: 1, Episodes: 1, GPUs: 4})
+		if err != nil {
+			return nil, fmt.Errorf("submit job %d: %w", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	res := &recoveryResult{JobsSubmitted: n}
+	// Kill mid-batch: at least one job done (its report must survive), at
+	// least one not (it must be re-queued).
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		stats, err := client.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if stats.Done >= 1 && stats.Done < n {
+			res.DoneBeforeKill = stats.Done
+			break
+		}
+		if stats.Done >= n || time.Now().After(deadline) {
+			return nil, fmt.Errorf("could not catch the server mid-batch (done=%d)", stats.Done)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no fsync help
+		return nil, err
+	}
+	_, _ = cmd.Process.Wait()
+	killed = true
+	log.Printf("durablebench: SIGKILL after %d/%d jobs done; restarting on the same store", res.DoneBeforeKill, n)
+
+	restart := time.Now()
+	cmd2, client2, err := spawnServe(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_, _ = cmd2.Process.Wait()
+	}()
+	res.RestartReadySec = time.Since(restart).Seconds()
+
+	// Every accepted job must still exist and reach a terminal state.
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			st, err := client2.Status(ctx, id)
+			if err != nil {
+				if errors.Is(err, service.ErrNotFound) {
+					res.JobsLost++
+					break
+				}
+				return nil, err
+			}
+			if st.State.Terminal() {
+				res.JobsAfterCrash++
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("job %s not terminal after restart (state %s)", id, st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	res.AllTerminalSec = time.Since(restart).Seconds()
+	if stats, err := client2.Stats(ctx); err == nil {
+		res.Requeued = stats.Recovery.Requeued
+	}
+
+	// Gap-free check: each job's full event log must be densely numbered
+	// 1..n even though it spans two process lifetimes.
+	for _, id := range ids {
+		evs, err := client2.Events(ctx, id, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.EventLogs++
+		for i, ev := range evs {
+			if ev.Seq != uint64(i)+1 {
+				res.EventGaps++
+				break
+			}
+		}
+	}
+	log.Printf("durablebench: %d/%d jobs survived (%d re-queued), ready in %.2fs, all terminal in %.2fs, %d/%d logs gap-free",
+		res.JobsAfterCrash, n, res.Requeued, res.RestartReadySec, res.AllTerminalSec, res.EventLogs-res.EventGaps, res.EventLogs)
+	return res, nil
+}
+
+// replica is one in-process planning server bound to a real loopback port.
+type replica struct {
+	srv  *service.Server
+	http *http.Server
+	url  string
+}
+
+func startReplica(cfg service.Config, ln net.Listener) (*replica, error) {
+	srv, err := service.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &http.Server{Handler: srv.Handler()}
+	go func() { _ = h.Serve(ln) }()
+	return &replica{srv: srv, http: h, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (r *replica) stop() {
+	_ = r.http.Close()
+	_ = r.srv.Close()
+}
+
+func runThroughputAct(threshold float64) (*throughputResult, error) {
+	const (
+		workloads = 6
+		rounds    = 4
+		replicas  = 3
+		warmSets  = 2
+	)
+	ctx := context.Background()
+	specs := make([]cli.Spec, workloads)
+	for i := range specs {
+		specs[i] = cli.Spec{Model: "vgg19", Batch: 32 + 16*i, Seed: 1, Episodes: 1, GPUs: 4}
+	}
+	base := service.Config{Workers: 1, MaxWarmSets: warmSets}
+
+	// Jobs are strictly sequential (submit, wait, next) in both arms, so CPU
+	// parallelism contributes nothing: the comparison isolates warm-cache
+	// capacity and placement.
+	drive := func(client *service.Client) (float64, error) {
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, sp := range specs {
+				st, err := client.WithRetry(service.RetryPolicy{}).Submit(ctx, sp)
+				if err != nil {
+					return 0, err
+				}
+				fin, err := client.Wait(ctx, st.ID, 30*time.Second)
+				if err != nil {
+					return 0, err
+				}
+				if fin.State != service.JobDone {
+					return 0, fmt.Errorf("job %s ended %s: %s", st.ID, fin.State, fin.Error)
+				}
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	log.Printf("durablebench: act 2 — %d workloads x %d rounds, %d warm sets per replica", workloads, rounds, warmSets)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	single, err := startReplica(base, ln)
+	if err != nil {
+		return nil, err
+	}
+	singleSec, err := drive(service.NewClient(single.url))
+	single.stop()
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("durablebench: single replica: %.2fs (%d plans, warm sets thrash)", singleSec, workloads*rounds)
+
+	// Three replicas: listeners first so every replica knows its peers.
+	lns := make([]net.Listener, replicas)
+	urls := make([]string, replicas)
+	for i := range lns {
+		if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		urls[i] = "http://" + lns[i].Addr().String()
+	}
+	reps := make([]*replica, replicas)
+	for i := range reps {
+		cfg := base
+		cfg.NodeID = fmt.Sprintf("r%d", i+1)
+		for j, u := range urls {
+			if j != i {
+				cfg.Peers = append(cfg.Peers, u)
+			}
+		}
+		if reps[i], err = startReplica(cfg, lns[i]); err != nil {
+			return nil, err
+		}
+		defer reps[i].stop()
+	}
+	rt, err := router.New(router.Config{Backends: urls, RefreshTTL: 100 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	rtLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rtSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = rtSrv.Serve(rtLn) }()
+	defer rtSrv.Close()
+
+	multiSec, err := drive(service.NewClient("http://" + rtLn.Addr().String()))
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("durablebench: %d replicas + router: %.2fs", replicas, multiSec)
+
+	// Exhibit the peer exchange directly: the same workload submitted to a
+	// replica that never planned it should warm-start from a peer's artifact.
+	for _, rep := range reps {
+		cl := service.NewClient(rep.url)
+		if st, err := cl.Submit(ctx, specs[0]); err == nil {
+			_, _ = cl.Wait(ctx, st.ID, 30*time.Second)
+		}
+	}
+	res := &throughputResult{
+		Workloads: workloads, Rounds: rounds, Replicas: replicas, WarmSetsEach: warmSets,
+		SingleSec: singleSec, MultiSec: multiSec, Threshold: threshold,
+	}
+	if multiSec > 0 {
+		res.Ratio = singleSec / multiSec
+	}
+	for _, rep := range reps {
+		st := rep.srv.Stats()
+		res.PeerWarmStarts += st.Peer.PeerWarmStarts
+		res.PeerExported += st.Peer.Exported
+	}
+	log.Printf("durablebench: ratio %.2fx, %d peer warm-starts, %d artifacts exported",
+		res.Ratio, res.PeerWarmStarts, res.PeerExported)
+	return res, nil
+}

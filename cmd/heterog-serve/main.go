@@ -46,6 +46,7 @@ import (
 
 	"heterog/internal/cli"
 	"heterog/internal/service"
+	"heterog/internal/store"
 )
 
 func main() {
@@ -67,6 +68,12 @@ func main() {
 	fleetGPUs := flag.Int("fleet-gpus", 0, "fleet mode: the server owns this testbed (4, 8, 12 or 64 GPUs) and leases slices of it to jobs; 0 = classic mode (each job brings its own cluster)")
 	fleetbench := flag.Bool("fleetbench", false, "run the fleet-scheduling exhibit (concurrent jobs on one Testbed64 vs sequential whole-fleet baseline) and exit")
 	fleetThreshold := flag.Float64("fleet-threshold", 1.5, "fleetbench: minimum aggregate speedup over the sequential baseline; below it the run exits non-zero")
+	storeDir := flag.String("store", "", "durable store directory: jobs, event logs, leases and warm artifacts survive restarts (empty = in-memory, restart starts empty)")
+	nodeID := flag.String("node", "", "replica name: prefixes job IDs and tags exported warm artifacts (required when several replicas share a router)")
+	peersCSV := flag.String("peers", "", "comma-separated peer replica base URLs for the warm-cache exchange")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts that pass -addr :0)")
+	durablebench := flag.Bool("durablebench", false, "run the durable-serving exhibit (kill-and-restart recovery + 3-replica throughput vs single) and exit")
+	durableThreshold := flag.Float64("durable-threshold", 1.5, "durablebench: minimum 3-replica aggregate throughput over one replica; below it (or any lost job) the run exits non-zero")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -76,6 +83,14 @@ func main() {
 		EvalCacheEntries:    *evalCap,
 		LoweredCacheEntries: *loweredCap,
 		MaxWarmSets:         *warmSets,
+		NodeID:              *nodeID,
+	}
+	if *peersCSV != "" {
+		for _, p := range strings.Split(*peersCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 	if *fleetGPUs != 0 {
 		fc, err := (&cli.Spec{GPUs: *fleetGPUs}).BuildCluster()
@@ -122,16 +137,48 @@ func main() {
 		return
 	}
 
-	srv := service.New(cfg)
+	if *durablebench {
+		dbOut := *out
+		if dbOut == "BENCH_serve.json" {
+			dbOut = "BENCH_durable.json"
+		}
+		if err := runDurableBench(dbOut, *durableThreshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = st
+		defer st.Close()
+	}
+
+	srv, err := service.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 	mode := "classic mode"
 	if cfg.Fleet != nil {
 		mode = fmt.Sprintf("fleet mode: %s, %d devices", cfg.Fleet.Name, cfg.Fleet.NumDevices())
+	}
+	if rec := srv.Stats().Recovery; rec.Jobs > 0 {
+		log.Printf("recovered %d jobs from %s (%d re-queued, %d events, %.3fs)",
+			rec.Jobs, *storeDir, rec.Requeued, rec.Events, rec.Sec)
 	}
 	log.Printf("heterog-serve listening on %s (%d workers, queue %d, %s)",
 		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth, mode)

@@ -29,6 +29,7 @@
 package heterog
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -93,6 +94,9 @@ type settings struct {
 	// drift, when non-nil, overrides the telemetry watcher thresholds built
 	// by Runner.Watcher (nil = telemetry package defaults).
 	drift *telemetry.Thresholds
+	// warmStrategy, when non-empty, is a serialized strategy (strategy-JSON
+	// wire format) evaluated before search and seeded as the incumbent.
+	warmStrategy []byte
 }
 
 func defaultSettings() settings {
@@ -199,6 +203,25 @@ func WithPruning(on bool) Option {
 // WithAgent supplies a caller-configured agent.
 func WithHalving(on bool) Option {
 	return optionFunc(func(s *settings) { s.halving = on })
+}
+
+// WithWarmStrategy warm-starts strategy search from a previously exported
+// plan: raw is a serialized strategy in the strategy-JSON wire format (what
+// Strategy.Save writes and the planning service's reports carry). Before any
+// episodes run, the strategy is decoded against the model graph, evaluated
+// through the runner's caches — priming the evaluation and lowered-artifact
+// caches — and installed as the search incumbent, so bound-based pruning
+// races every candidate against a plausible plan from the first episode and
+// the returned plan is never worse than the seed. A seed that fails to
+// decode, evaluate, or fit memory is ignored (warm starting is best-effort);
+// a seed for a different workload typically fails the op-count check and is
+// likewise ignored.
+//
+// This is the import half of the peer warm-cache exchange: replicas export
+// winning strategies keyed by workload fingerprint and cold peers plan with
+// WithWarmStrategy instead of from scratch.
+func WithWarmStrategy(raw []byte) Option {
+	return optionFunc(func(s *settings) { s.warmStrategy = raw })
 }
 
 // WithTelemetryThresholds sets the drift-detection thresholds used by
@@ -395,6 +418,18 @@ func plan(g *graph.Graph, devices *cluster.View, cfg settings) (*Runner, error) 
 			return nil, err
 		}
 	}
+	// Warm start: evaluate the imported strategy through the (possibly
+	// shared) caches and seed it as the search incumbent. Best-effort — any
+	// failure falls back to a cold search.
+	var warmEval *core.Evaluation
+	if len(cfg.warmStrategy) > 0 {
+		if st, err := strategy.Load(bytes.NewReader(cfg.warmStrategy), len(g.Ops)); err == nil {
+			if e, err := ev.Evaluate(st); err == nil && !e.Result.OOM() {
+				warmEval = e
+				_ = ag.SeedIncumbent(ev, e)
+			}
+		}
+	}
 	ctx := cfg.ctx
 	if ctx == nil {
 		ctx = context.Background()
@@ -402,6 +437,10 @@ func plan(g *graph.Graph, devices *cluster.View, cfg settings) (*Runner, error) 
 	p, err := ag.PlanContext(ctx, ev, cfg.episodes)
 	if err != nil {
 		return nil, fmt.Errorf("heterog: strategy search: %w", err)
+	}
+	// The warm seed is a full candidate: keep it if search never beat it.
+	if warmEval != nil && warmEval.Score() < p.Score() {
+		p = warmEval
 	}
 	if p.Result.OOM() {
 		return nil, fmt.Errorf("%w: %s at batch %d", ErrOOM, g.Name, g.BatchSize)

@@ -1,0 +1,147 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"heterog/internal/cli"
+	"heterog/internal/service"
+)
+
+// fleet spins up n in-process replicas plus a router in front of them.
+func fleet(t *testing.T, n int) (*service.Client, []*service.Server) {
+	t.Helper()
+	backends := make([]string, n)
+	servers := make([]*service.Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := service.Open(service.Config{
+			Workers: 1, MaxWarmSets: 1,
+			NodeID: string(rune('a' + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); _ = srv.Close() })
+		backends[i] = ts.URL
+		servers[i] = srv
+	}
+	rt, err := New(Config{Backends: backends, RefreshTTL: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return service.NewClient(front.URL), servers
+}
+
+func spec(batch int) cli.Spec {
+	return cli.Spec{Model: "vgg19", Batch: batch, GPUs: 4, Seed: 1, Episodes: 1}
+}
+
+// nodeOf extracts the replica prefix from a routed job ID ("b-job-000001").
+func nodeOf(t *testing.T, id string) string {
+	t.Helper()
+	i := strings.Index(id, "-job-")
+	if i < 0 {
+		t.Fatalf("job ID %q has no node prefix", id)
+	}
+	return id[:i]
+}
+
+// TestRouterAffinityAndProxy covers the router end to end: submissions spread
+// across replicas, repeat workloads stick to the replica that already planned
+// them, and per-job requests proxy to the owner.
+func TestRouterAffinityAndProxy(t *testing.T) {
+	ctx := context.Background()
+	c, _ := fleet(t, 2)
+
+	run := func(batch int) *service.JobStatus {
+		t.Helper()
+		st, err := c.Submit(ctx, spec(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := c.Wait(ctx, st.ID, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != service.JobDone {
+			t.Fatalf("job %s = %s (%s)", st.ID, fin.State, fin.Error)
+		}
+		return fin
+	}
+
+	first := run(64)
+	second := run(96) // distinct workload: load-balanced to the colder replica
+	if nodeOf(t, first.ID) == nodeOf(t, second.ID) {
+		t.Fatalf("two fresh workloads landed on the same replica (%s, %s)", first.ID, second.ID)
+	}
+	// Repeats must follow their warm caches, in either submission order.
+	for _, batch := range []int{96, 64, 96, 64} {
+		want := first
+		if batch == 96 {
+			want = second
+		}
+		if again := run(batch); nodeOf(t, again.ID) != nodeOf(t, want.ID) {
+			t.Fatalf("repeat of batch %d landed on %s, owner was %s", batch, again.ID, want.ID)
+		}
+	}
+
+	// Per-job proxying: status and report for both jobs through the front.
+	for _, id := range []string{first.ID, second.ID} {
+		st, err := c.Status(ctx, id)
+		if err != nil || st.ID != id {
+			t.Fatalf("status %s via router: %+v, %v", id, st, err)
+		}
+		if _, err := c.Report(ctx, id); err != nil {
+			t.Fatalf("report %s via router: %v", id, err)
+		}
+	}
+	// Listing merges both replicas.
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("merged listing has %d jobs, want 6", len(jobs))
+	}
+
+	// The router's own introspection endpoint.
+	resp, err := http.Get(c.BaseURL + "/v1/router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status Status
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Routed != 6 || len(status.Backends) != 2 {
+		t.Fatalf("router status = %+v, want 6 routed over 2 backends", status)
+	}
+}
+
+// TestRouterReadyz: ready while any backend is up; 503 when none are.
+func TestRouterReadyz(t *testing.T) {
+	ctx := context.Background()
+	rt, err := New(Config{Backends: []string{"http://127.0.0.1:1"}, RefreshTTL: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	if err := service.NewClient(front.URL).Readyz(ctx); err == nil {
+		t.Fatal("router ready with no reachable backend")
+	}
+
+	c, _ := fleet(t, 1)
+	if err := c.Readyz(ctx); err != nil {
+		t.Fatalf("router with one live backend not ready: %v", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"heterog/internal/cli"
 	"heterog/internal/cluster"
 	"heterog/internal/fleet"
+	"heterog/internal/store"
 )
 
 // FleetStatus is the wire representation of GET /v1/fleet: the allocator's
@@ -92,9 +93,11 @@ func (s *Server) submitFleet(spec cli.Spec) (*JobStatus, error) {
 	}
 	s.nextID++
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", s.nextID),
+		id:        s.jobIDLocked(),
 		spec:      spec,
 		graph:     g,
+		model:     g.Name,
+		batch:     g.BatchSize,
 		state:     JobWaiting,
 		submitted: s.now(),
 		done:      make(chan struct{}),
@@ -103,6 +106,7 @@ func (s *Server) submitFleet(spec cli.Spec) (*JobStatus, error) {
 	s.order = append(s.order, j.id)
 	s.accepted++
 	s.evictJobsLocked()
+	s.persistJobLocked(j)
 	s.mu.Unlock()
 
 	seed := spec.Seed
@@ -122,12 +126,44 @@ func (s *Server) submitFleet(spec cli.Spec) (*JobStatus, error) {
 		j.failure = err
 		j.finished = s.now()
 		close(j.done)
+		s.persistJobLocked(j)
 		st := s.statusLocked(j)
 		s.mu.Unlock()
 		return st, err
 	}
 	s.applyGrants(grants)
 	return s.Status(j.id)
+}
+
+// resubmitFleet puts a recovered fleet job back through the allocator for a
+// fresh lease (the old one died with the previous process). Called from Open
+// after the workers start.
+func (s *Server) resubmitFleet(j *job) {
+	seed := j.spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s.mu.Lock()
+	s.persistJobLocked(j) // records the back-to-waiting state
+	s.mu.Unlock()
+	grants, err := s.fleetAlloc.Submit(fleet.JobSpec{
+		ID:         j.id,
+		Graph:      j.graph,
+		Seed:       seed,
+		MaxDevices: j.spec.GPUs,
+	})
+	if err != nil {
+		s.mu.Lock()
+		j.state = JobFailed
+		j.err = fmt.Sprintf("recovery: %v", err)
+		j.failure = err
+		j.finished = s.now()
+		close(j.done)
+		s.persistJobLocked(j)
+		s.mu.Unlock()
+		return
+	}
+	s.applyGrants(grants)
 }
 
 // applyGrants folds allocator decisions into job records: waiting jobs with
@@ -151,6 +187,8 @@ func (s *Server) applyGrants(grants []fleet.Grant) {
 			s.adoptLeaseLocked(j, g.Lease)
 			j.state = JobQueued
 			s.fleetEventLocked(j, EventLeaseGranted, "")
+			s.persistJobLocked(j)
+			s.persistLeaseLocked(j)
 			enqueue = j
 		case JobQueued:
 			s.adoptLeaseLocked(j, g.Lease)
@@ -159,6 +197,7 @@ func (s *Server) applyGrants(grants []fleet.Grant) {
 				reason = "lease shrunk to admit an arrival"
 			}
 			s.fleetEventLocked(j, EventLeaseResized, reason)
+			s.persistLeaseLocked(j)
 		}
 		s.mu.Unlock()
 		if enqueue != nil {
@@ -175,12 +214,26 @@ func (s *Server) adoptLeaseLocked(j *job, l *cluster.Lease) {
 	j.warmKey = warmKey(&j.spec, j.graph, j.cluster)
 }
 
+// persistLeaseLocked records the job's current lease grant in the store.
+// Callers hold s.mu.
+func (s *Server) persistLeaseLocked(j *job) {
+	if j.lease == nil {
+		return
+	}
+	s.persistLease(store.LeaseRecord{
+		Job:     j.id,
+		Lease:   j.lease.ID,
+		Devices: j.lease.NumDevices(),
+		Seq:     j.lease.Seq,
+	})
+}
+
 // fleetEventLocked appends a lease-lifecycle event to the job's plan-update
 // log, creating a watcherless monitor if the job has none yet (telemetry can
 // attach its drift watcher later). Callers hold s.mu.
 func (s *Server) fleetEventLocked(j *job, typ EventType, reason string) {
 	if j.mon == nil {
-		j.mon = newMonitor(nil, j.id)
+		j.mon = s.newJobMonitor(j.id)
 	}
 	ev := PlanEvent{Type: typ, Reason: reason}
 	if j.lease != nil {
@@ -213,6 +266,7 @@ func (s *Server) enqueueFleet(j *job) {
 	j.finished = s.now()
 	j.started = j.finished
 	close(j.done)
+	s.persistJobLocked(j)
 	s.mu.Unlock()
 	s.fleetRelease(j)
 }
@@ -247,10 +301,17 @@ func (s *Server) fleetRelease(j *job) {
 		return
 	}
 	s.mu.Lock()
-	had := j.lease != nil
+	released := j.lease
 	j.lease = nil // j.cluster stays: reports still describe the planned view
-	if had {
+	if released != nil {
 		s.fleetEventLocked(j, EventLeaseReleased, string(j.state))
+		s.persistLease(store.LeaseRecord{
+			Job:      j.id,
+			Lease:    released.ID,
+			Devices:  released.NumDevices(),
+			Seq:      released.Seq,
+			Released: true,
+		})
 	}
 	s.mu.Unlock()
 	grants := s.fleetAlloc.Release(j.id)

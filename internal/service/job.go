@@ -45,6 +45,11 @@ type job struct {
 	spec     cli.Spec
 	replanOf string // source job ID for replan jobs ("" for plain plans)
 	auto     bool   // true for replans fired by the telemetry monitor
+	// recovered marks a job replayed from the store after a restart. Its
+	// runner is gone (recovered done jobs serve reports but not traces or
+	// replans), and recovered replan jobs plan fresh from their described
+	// cluster instead of reusing a source runner that no longer exists.
+	recovered bool
 
 	// Resolved at admission so a malformed spec is rejected before queueing.
 	// In fleet mode cluster and warmKey stay unset until a lease is granted
@@ -52,6 +57,13 @@ type job struct {
 	graph   *graph.Graph
 	cluster *cluster.View
 	warmKey evalcache.Key
+	// model and batch duplicate the graph's identity so status survives a
+	// restart (recovered terminal jobs carry no graph); clusterName and
+	// clusterDevices do the same for the cluster.
+	model          string
+	batch          int
+	clusterName    string
+	clusterDevices int
 	// lease is the fleet lease backing cluster in fleet mode; nil in classic
 	// mode, and cleared on release (cluster stays for reporting).
 	lease *cluster.Lease
@@ -95,8 +107,10 @@ type JobStatus struct {
 	Devices  int      `json:"devices"`
 	ReplanOf string   `json:"replan_of,omitempty"`
 	// Auto marks replans fired by the telemetry monitor rather than a client.
-	Auto  bool   `json:"auto,omitempty"`
-	Error string `json:"error,omitempty"`
+	Auto bool `json:"auto,omitempty"`
+	// Recovered marks jobs replayed from the durable store after a restart.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// Lease names the fleet lease currently backing the job (fleet mode,
 	// until released).
 	Lease string `json:"lease,omitempty"`
@@ -153,8 +167,12 @@ type ReplanRequest struct {
 
 // ServerStats is the wire representation of /v1/stats.
 type ServerStats struct {
-	Workers    int `json:"workers"`
-	QueueDepth int `json:"queue_depth"`
+	// Node names this replica (Config.NodeID; empty for anonymous servers).
+	Node string `json:"node,omitempty"`
+	// Store names the durable backend ("mem" or "file").
+	Store      string `json:"store,omitempty"`
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
 	// Waiting counts fleet-mode jobs admitted but not yet granted a lease.
 	Waiting  int `json:"waiting,omitempty"`
 	Queued   int `json:"queued"`
@@ -173,6 +191,12 @@ type ServerStats struct {
 	// Telemetry aggregates the online replanning loop: observations folded,
 	// drift episodes detected, automatic replans and their outcomes.
 	Telemetry TelemetryStats `json:"telemetry"`
+
+	// Recovery reports what the server replayed from its store at startup
+	// (zero value for a fresh start).
+	Recovery RecoveryStats `json:"recovery,omitempty"`
+	// Peer reports the warm-cache exchange counters (zero without peers).
+	Peer PeerStats `json:"peer,omitempty"`
 
 	WarmSets []WarmSetStats `json:"warm_sets"`
 }

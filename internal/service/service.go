@@ -35,6 +35,7 @@ import (
 	"heterog/internal/evalcache"
 	"heterog/internal/fleet"
 	"heterog/internal/graph"
+	"heterog/internal/store"
 )
 
 // Typed service errors, surfaced by the in-process API and carried over the
@@ -91,6 +92,22 @@ type Config struct {
 	// estimator (default core.EstimateLeaseTime). Test seam and tuning knob;
 	// ignored without Fleet.
 	FleetEstimate fleet.EstimateFunc
+	// Store is the durable backend for jobs, event logs, leases and warm
+	// artifacts (default a fresh in-memory store, which keeps the classic
+	// restart-starts-empty behavior). A file store (store.Open) makes the
+	// server crash-safe: Open replays it and resumes (see persist.go). The
+	// server does not close the store; the owner does after Drain.
+	Store store.Store
+	// NodeID names this replica. It prefixes job IDs ("<node>-job-000001") so
+	// IDs stay unique across a fleet of replicas behind one router, and tags
+	// exported warm artifacts. Empty keeps the classic unprefixed IDs.
+	NodeID string
+	// Peers lists sibling replicas' base URLs ("http://host:port") for the
+	// warm-cache exchange: a cold workload first tries the local artifact
+	// store, then asks each peer for its exported artifact (see peer.go).
+	Peers []string
+	// PeerTimeout bounds one peer artifact fetch (default 5s).
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * time.Second
 	}
 	// Fleet mode moves admission control into the allocator (jobs wait for a
 	// lease instead of being rejected), so the queue only ever holds jobs
@@ -158,6 +178,18 @@ type Server struct {
 	// server), but applyGrants must not run under s.mu.
 	fleetAlloc *fleet.Allocator
 
+	// store is the durable backend (never nil; Mem by default). persistErr
+	// remembers the last failed store write — it flips readiness (see
+	// persist.go) — under its own small mutex because persistence runs under
+	// varying combinations of s.mu and monitor locks.
+	store      store.Store
+	persistMu  sync.Mutex
+	persistErr error
+	// recovery is what Open replayed from the store (immutable after Open).
+	recovery RecoveryStats
+	// peer is the warm-cache exchange state (counters under s.mu; see peer.go).
+	peer peerState
+
 	workers   sync.WaitGroup
 	closeOnce sync.Once
 	// now and runHook are test seams: now stamps job transitions, runHook
@@ -166,24 +198,66 @@ type Server struct {
 	runHook func(ctx context.Context, j *job) error
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. It is Open for callers that
+// cannot fail: recovery errors (possible only with a corrupted pre-populated
+// store) panic. Servers without a configured store never do.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a server, replays its store (re-queuing every job the previous
+// process accepted but did not finish — see persist.go) and starts the worker
+// pool. With the default in-memory store this is exactly the classic New.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Store == nil {
+		cfg.Store = store.NewMem()
+	}
 	s := &Server{
 		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
 		warm:  make(map[evalcache.Key]*warmSet),
 		now:   time.Now,
+		store: cfg.Store,
 	}
 	if cfg.Fleet != nil {
 		s.fleetAlloc = fleet.New(cfg.Fleet, cfg.FleetEstimate)
 	}
+	snap, err := s.store.Load()
+	if err != nil {
+		return nil, fmt.Errorf("service: load store: %w", err)
+	}
+	requeue, resubmit, err := s.recover(snap)
+	if err != nil {
+		return nil, err
+	}
+	// Recovered jobs enqueue before the workers start, so the queue must hold
+	// all of them on top of the configured depth.
+	if n := cfg.QueueDepth + len(requeue); n > cfg.QueueDepth {
+		s.cfg.QueueDepth = n
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	for _, j := range requeue {
+		s.logRecovered(j)
+		s.persistJobLocked(j) // single-threaded here; records the re-queued state
+		s.queue <- j
+	}
+	s.evictJobsLocked()
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	// Fleet jobs go back through the allocator for fresh leases; grants and
+	// resizes land on their (recovered, gap-free) event logs as usual.
+	for _, j := range resubmit {
+		s.logRecovered(j)
+		s.resubmitFleet(j)
+	}
+	return s, nil
 }
 
 // Config returns the resolved (defaulted) configuration.
@@ -273,6 +347,16 @@ func resolveSpec(spec *cli.Spec) (*graph.Graph, *cluster.View, error) {
 	return g, c.FullView(), nil
 }
 
+// jobIDLocked mints the next job ID, prefixed with the node name in
+// multi-replica deployments so IDs stay unique behind a router. Callers hold
+// s.mu.
+func (s *Server) jobIDLocked() string {
+	if s.cfg.NodeID != "" {
+		return fmt.Sprintf("%s-job-%06d", s.cfg.NodeID, s.nextID)
+	}
+	return fmt.Sprintf("job-%06d", s.nextID)
+}
+
 // admit assigns an ID, enqueues the job and records it.
 func (s *Server) admit(j *job) (*JobStatus, error) {
 	s.mu.Lock()
@@ -282,10 +366,13 @@ func (s *Server) admit(j *job) (*JobStatus, error) {
 		return nil, ErrDraining
 	}
 	s.nextID++
-	j.id = fmt.Sprintf("job-%06d", s.nextID)
+	j.id = s.jobIDLocked()
 	j.state = JobQueued
 	j.submitted = s.now()
 	j.done = make(chan struct{})
+	if j.graph != nil {
+		j.model, j.batch = j.graph.Name, j.graph.BatchSize
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -298,6 +385,7 @@ func (s *Server) admit(j *job) (*JobStatus, error) {
 	s.order = append(s.order, j.id)
 	s.accepted++
 	s.evictJobsLocked()
+	s.persistJobLocked(j)
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	return st, nil
@@ -333,6 +421,9 @@ func (s *Server) Replan(sourceID string, req ReplanRequest) (*JobStatus, error) 
 		return nil, ErrNotFound
 	}
 	if src.state != JobDone || src.runner == nil {
+		if src.recovered && src.state == JobDone {
+			return nil, fmt.Errorf("%w: %s predates a server restart; its runner is gone, submit a fresh job instead", ErrNotDone, sourceID)
+		}
 		return nil, fmt.Errorf("%w: replan needs a done source job, %s is %s", ErrNotDone, sourceID, src.state)
 	}
 	nc, err := replanCluster(src, req)
@@ -433,6 +524,7 @@ func (s *Server) run(j *job) {
 	j.state = JobRunning
 	j.started = s.now()
 	j.cancel = cancel
+	s.persistJobLocked(j)
 	s.mu.Unlock()
 	defer cancel()
 	// Fleet mode: freeze the lease for the whole planning run (no-op
@@ -470,10 +562,16 @@ func (s *Server) run(j *job) {
 		j.failure = err
 	}
 	close(j.done)
+	s.persistJobLocked(j)
 	s.mu.Unlock()
 	// Terminal either way: hand the lease back and let the fleet rebalance
 	// (applyGrants inside takes s.mu per grant, so the lock is dropped first).
 	s.fleetRelease(j)
+	if err == nil {
+		// Export the winning strategy as a warm artifact so peers (and this
+		// server's own next incarnation) can warm-start the workload.
+		s.exportArtifact(j)
+	}
 }
 
 // planOptions maps the spec's knobs onto the public Options.
@@ -517,7 +615,9 @@ func (s *Server) plan(ctx context.Context, j *job) error {
 	opts := append(planOptions(&j.spec), heterog.WithContext(ctx), heterog.WithCaches(ws.caches))
 	var runner *heterog.Runner
 	var err error
-	if j.replanOf != "" {
+	// Recovered replan jobs plan fresh: their source runner died with the old
+	// process, but the spec carries the overlaid cluster description.
+	if j.replanOf != "" && !j.recovered {
 		s.mu.Lock()
 		src := s.jobs[j.replanOf]
 		s.mu.Unlock()
@@ -526,6 +626,13 @@ func (s *Server) plan(ctx context.Context, j *job) error {
 		}
 		runner, err = src.runner.ReplanView(j.cluster, opts...)
 	} else {
+		// Cold workload on this replica: seed the search with an exported
+		// artifact — our own store first (restart warm-start), then peers.
+		if ws.jobs <= 1 {
+			if raw := s.warmStrategyFor(j); len(raw) > 0 {
+				opts = append(opts, heterog.WithWarmStrategy(raw))
+			}
+		}
 		model := func() (*graph.Graph, error) { return j.graph, nil }
 		input := func() (int, error) { return j.graph.BatchSize, nil }
 		runner, err = heterog.GetRunnerView(model, input, j.cluster, opts...)
@@ -587,17 +694,26 @@ func (s *Server) statusLocked(j *job) *JobStatus {
 	st := &JobStatus{
 		ID:          j.id,
 		State:       j.state,
-		Model:       j.graph.Name,
-		Batch:       j.graph.BatchSize,
+		Model:       j.model,
+		Batch:       j.batch,
 		ReplanOf:    j.replanOf,
 		Auto:        j.auto,
+		Recovered:   j.recovered,
 		Error:       j.err,
 		SubmittedAt: j.submitted,
 	}
-	// Fleet jobs have no cluster until a lease is granted.
-	if j.cluster != nil {
+	if st.Model == "" && j.graph != nil {
+		st.Model, st.Batch = j.graph.Name, j.graph.BatchSize
+	}
+	// Fleet jobs have no cluster until a lease is granted; recovered terminal
+	// jobs keep the recorded name of the cluster they planned on.
+	switch {
+	case j.cluster != nil:
 		st.Cluster = j.cluster.Name
 		st.Devices = j.cluster.NumDevices()
+	default:
+		st.Cluster = j.clusterName
+		st.Devices = j.clusterDevices
 	}
 	if j.lease != nil {
 		st.Lease = j.lease.ID
@@ -694,6 +810,9 @@ func (s *Server) runnerOf(id string) (*heterog.Runner, error) {
 		return nil, ErrNotFound
 	}
 	if j.state != JobDone || j.runner == nil {
+		if j.recovered && j.state == JobDone {
+			return nil, fmt.Errorf("%w: %s predates a server restart; its trace is gone", ErrNotDone, j.id)
+		}
 		return nil, notDoneLocked(j)
 	}
 	return j.runner, nil
@@ -720,6 +839,7 @@ func (s *Server) Cancel(id string) (*JobStatus, error) {
 		j.finished = s.now()
 		j.started = j.finished
 		close(j.done)
+		s.persistJobLocked(j)
 		release = true
 	case JobRunning:
 		if j.cancel != nil {
@@ -739,12 +859,16 @@ func (s *Server) Stats() *ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &ServerStats{
+		Node:       s.cfg.NodeID,
+		Store:      s.store.Kind(),
 		Workers:    s.cfg.Workers,
 		QueueDepth: s.cfg.QueueDepth,
 		Accepted:   s.accepted,
 		Rejected:   s.rejected,
 		Pruning:    s.pruning,
 		Telemetry:  s.telemetry,
+		Recovery:   s.recovery,
+		Peer:       s.peer.stats,
 	}
 	for _, j := range s.jobs {
 		switch j.state {
@@ -794,6 +918,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// crash simulates a power failure, for crash-consistency tests: the store is
+// severed FIRST — any state transition from here on never reaches disk, which
+// is exactly what losing the process mid-write looks like — then every running
+// job is canceled and the workers drained. The journal keeps the last
+// persisted state of every job (queued/running for in-flight ones), and a new
+// Open on the same directory must re-queue them all.
+func (s *Server) crash() {
+	_ = s.store.Close()
+	_ = s.Close()
 }
 
 // Close hard-stops the server: drains like Drain but first cancels every

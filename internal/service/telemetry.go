@@ -66,6 +66,11 @@ const (
 	// EventLeaseReleased: the job reached a terminal state and its devices
 	// went back to the fleet; Reason carries the terminal state.
 	EventLeaseReleased EventType = "lease-released"
+
+	// EventJobRecovered: the server restarted and re-queued this job from its
+	// durable store; planning starts over. The event continues the job's
+	// pre-crash sequence numbering, so restarts are visible on the log itself.
+	EventJobRecovered EventType = "job-recovered"
 )
 
 // PlanEvent is one entry of a job's plan-update log. Seq is monotonically
@@ -136,6 +141,10 @@ type monitor struct {
 	// job at first, then each finished auto-replan job (its agent is warm for
 	// the latest cluster, so the next episode replans from it).
 	incumbent string
+	// onAppend, when set, persists each event as it is appended (under m.mu;
+	// it must not take the server lock). Events restored from the store are
+	// installed directly into events and never re-fire it.
+	onAppend func(PlanEvent)
 }
 
 func newMonitor(w *telemetry.Watcher, incumbent string) *monitor {
@@ -148,6 +157,9 @@ func (m *monitor) appendLocked(now time.Time, ev PlanEvent) {
 	ev.Seq = uint64(len(m.events)) + 1
 	ev.Time = now
 	m.events = append(m.events, ev)
+	if m.onAppend != nil {
+		m.onAppend(ev)
+	}
 	close(m.notify)
 	m.notify = make(chan struct{})
 }
@@ -172,13 +184,16 @@ func (s *Server) PushTelemetry(id string, readings []telemetry.Reading) (*Teleme
 		return nil, ErrNotFound
 	}
 	if j.state != JobDone || j.runner == nil {
-		st := j.state
+		st, rec := j.state, j.recovered && j.state == JobDone
 		s.mu.Unlock()
+		if rec {
+			return nil, fmt.Errorf("%w: %s predates a server restart; its runner is gone, submit a fresh job to monitor", ErrNotDone, id)
+		}
 		return nil, fmt.Errorf("%w: telemetry needs a done job, %s is %s", ErrNotDone, id, st)
 	}
 	mon := j.mon
 	if mon == nil {
-		mon = newMonitor(nil, j.id)
+		mon = s.newJobMonitor(j.id)
 		j.mon = mon
 	}
 	// Fleet lease events may have created the monitor (watcherless) long

@@ -1,0 +1,452 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is the crash-safe Store: an append-only JSONL journal plus fsynced,
+// atomically-renamed snapshots, with warm artifacts as individual files.
+//
+// Layout under the root directory:
+//
+//	journal.jsonl    one JSON record per line, appended and fsynced per write
+//	snapshot.json    compacted Snapshot, written via tmp + fsync + rename
+//	artifacts/<key>  one warm-artifact blob per workload key (tmp + rename)
+//
+// Crash-safety argument:
+//
+//   - Every journal append is a single line written and fsynced before the
+//     call returns, so an acknowledged write survives a kill. A crash mid-
+//     append can only leave a partial *final* line; Open tolerates exactly
+//     that (the torn tail is dropped, every complete line is replayed).
+//   - Compaction writes snapshot.json.tmp, fsyncs it, renames it over
+//     snapshot.json (atomic on POSIX), fsyncs the directory, and only then
+//     truncates the journal — a crash between any two steps leaves either
+//     the old snapshot + full journal or the new snapshot + (possibly still
+//     full) journal, both of which replay to the same state because journal
+//     records are idempotent upserts/appends over the snapshot.
+//   - Artifacts are written to <key>.tmp, fsynced and renamed, so a reader
+//     (local or a peer fetch) never observes a half-written blob.
+//
+// The store keeps a resident mirror of the journaled state so Load and
+// compaction never re-read the journal after Open.
+type File struct {
+	dir string
+
+	mu      sync.Mutex
+	closed  bool
+	journal *os.File
+	jsize   int64
+	// compactAt triggers compaction when the journal exceeds this many
+	// bytes (0 = DefaultCompactBytes).
+	compactAt int64
+
+	// Resident mirror of the persisted state (same shape as Mem).
+	jobs   map[string]JobRecord
+	order  []string
+	events map[string][]EventRecord
+	leases map[string]LeaseRecord
+}
+
+// DefaultCompactBytes is the journal size that triggers a snapshot + journal
+// truncation. Job records are small (a few KB with reports); the default
+// keeps replay under a few thousand records.
+const DefaultCompactBytes = 4 << 20
+
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+	artifactsDir = "artifacts"
+)
+
+// journalRec is one journal line: a tagged union of the record kinds.
+type journalRec struct {
+	T string `json:"t"` // "job" | "ev" | "lease"
+	// Job is the owning job ID for "ev" records.
+	Job   string       `json:"job,omitempty"`
+	JobV  *JobRecord   `json:"job_v,omitempty"`
+	EvV   *EventRecord `json:"ev_v,omitempty"`
+	LeasV *LeaseRecord `json:"lease_v,omitempty"`
+}
+
+// snapshotFile is the on-disk snapshot schema.
+type snapshotFile struct {
+	Version int                      `json:"version"`
+	Jobs    []JobRecord              `json:"jobs"`
+	Events  map[string][]EventRecord `json:"events"`
+	Leases  map[string]LeaseRecord   `json:"leases"`
+}
+
+// Open opens (creating if needed) a file store rooted at dir, replaying any
+// existing snapshot and journal into the resident mirror. A torn final
+// journal line — the signature of a crash mid-append — is dropped; any other
+// malformed line is a hard error (the journal is not ours to guess about).
+func Open(dir string) (*File, error) {
+	if err := os.MkdirAll(filepath.Join(dir, artifactsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	f := &File{
+		dir:       dir,
+		compactAt: DefaultCompactBytes,
+		jobs:      make(map[string]JobRecord),
+		events:    make(map[string][]EventRecord),
+		leases:    make(map[string]LeaseRecord),
+	}
+	if err := f.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := f.replayJournal(); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	st, err := j.Stat()
+	if err != nil {
+		j.Close()
+		return nil, fmt.Errorf("store: stat journal: %w", err)
+	}
+	f.journal = j
+	f.jsize = st.Size()
+	return f, nil
+}
+
+func (f *File) loadSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(f.dir, snapshotName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("store: unsupported snapshot version %d", snap.Version)
+	}
+	for _, rec := range snap.Jobs {
+		f.order = append(f.order, rec.ID)
+		f.jobs[rec.ID] = rec
+	}
+	for id, evs := range snap.Events {
+		f.events[id] = evs
+	}
+	for id, l := range snap.Leases {
+		f.leases[id] = l
+	}
+	return nil
+}
+
+func (f *File) replayJournal() error {
+	file, err := os.Open(filepath.Join(f.dir, journalName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open journal: %w", err)
+	}
+	defer file.Close()
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRec
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			// A torn write can only be the final line; peek whether more
+			// complete lines follow to distinguish crash tail from rot.
+			if sc.Scan() {
+				return fmt.Errorf("store: journal line %d corrupt mid-file: %w", line, err)
+			}
+			return nil // torn tail from a crash mid-append: drop it
+		}
+		f.applyLocked(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: scan journal: %w", err)
+	}
+	return nil
+}
+
+// applyLocked folds one journal record into the resident mirror.
+func (f *File) applyLocked(rec journalRec) {
+	switch rec.T {
+	case "job":
+		if rec.JobV == nil {
+			return
+		}
+		if _, ok := f.jobs[rec.JobV.ID]; !ok {
+			f.order = append(f.order, rec.JobV.ID)
+		}
+		f.jobs[rec.JobV.ID] = *rec.JobV
+	case "ev":
+		if rec.EvV == nil || rec.Job == "" {
+			return
+		}
+		f.events[rec.Job] = append(f.events[rec.Job], *rec.EvV)
+	case "lease":
+		if rec.LeasV == nil {
+			return
+		}
+		f.leases[rec.LeasV.Job] = *rec.LeasV
+	}
+}
+
+// append journals one record (write + fsync) and folds it into the mirror,
+// compacting when the journal has outgrown the threshold. Callers hold f.mu.
+func (f *File) appendLocked(rec journalRec) error {
+	if f.closed {
+		return ErrClosed
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode journal record: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := f.journal.Write(raw); err != nil {
+		return fmt.Errorf("store: append journal: %w", err)
+	}
+	if err := f.journal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync journal: %w", err)
+	}
+	f.jsize += int64(len(raw))
+	f.applyLocked(rec)
+	if f.jsize >= f.compactThreshold() {
+		if err := f.compactLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *File) compactThreshold() int64 {
+	if f.compactAt > 0 {
+		return f.compactAt
+	}
+	return DefaultCompactBytes
+}
+
+// compactLocked writes the resident mirror as a fresh snapshot (tmp + fsync
+// + atomic rename + dir fsync) and truncates the journal. Callers hold f.mu.
+func (f *File) compactLocked() error {
+	snap := snapshotFile{Version: 1, Events: f.events, Leases: f.leases}
+	for _, id := range f.order {
+		snap.Jobs = append(snap.Jobs, f.jobs[id])
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(f.dir, snapshotName), raw); err != nil {
+		return err
+	}
+	if err := syncDir(f.dir); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; an empty journal replays to it.
+	if err := f.journal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate journal: %w", err)
+	}
+	if _, err := f.journal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewind journal: %w", err)
+	}
+	f.jsize = 0
+	return nil
+}
+
+// atomicWrite writes data to path via tmp + fsync + rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	file, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return fmt.Errorf("store: fsync %s: %w", tmp, err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: rename %s: %w", tmp, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a power cut.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Kind names the backend.
+func (f *File) Kind() string { return "file" }
+
+// PutJob journals a job upsert.
+func (f *File) PutJob(rec JobRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appendLocked(journalRec{T: "job", JobV: &rec})
+}
+
+// AppendEvent journals one event append.
+func (f *File) AppendEvent(jobID string, ev EventRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appendLocked(journalRec{T: "ev", Job: jobID, EvV: &ev})
+}
+
+// PutLease journals a lease-trail upsert.
+func (f *File) PutLease(rec LeaseRecord) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.appendLocked(journalRec{T: "lease", LeasV: &rec})
+}
+
+// artifactPath maps a key to its blob file, refusing path-escaping keys (the
+// service passes lowercase hex fingerprints; anything else is a bug or an
+// attack through the peer API).
+func (f *File) artifactPath(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("store: invalid artifact key %q", key)
+	}
+	return filepath.Join(f.dir, artifactsDir, key), nil
+}
+
+// PutArtifact writes a warm-artifact blob atomically.
+func (f *File) PutArtifact(key string, blob []byte) error {
+	path, err := f.artifactPath(key)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	return atomicWrite(path, blob)
+}
+
+// GetArtifact reads a warm-artifact blob, or ErrNotFound.
+func (f *File) GetArtifact(key string) ([]byte, error) {
+	path, err := f.artifactPath(key)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read artifact %s: %w", key, err)
+	}
+	return blob, nil
+}
+
+// Artifacts lists stored artifact keys, sorted.
+func (f *File) Artifacts() ([]ArtifactInfo, error) {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	entries, err := os.ReadDir(filepath.Join(f.dir, artifactsDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: list artifacts: %w", err)
+	}
+	var out []ArtifactInfo
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		info := ArtifactInfo{Key: e.Name()}
+		if fi, err := e.Info(); err == nil {
+			info.Size = int(fi.Size())
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Load snapshots the resident mirror (the replayed persisted state).
+func (f *File) Load() (*Snapshot, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	snap := &Snapshot{
+		Events: make(map[string][]EventRecord, len(f.events)),
+		Leases: make(map[string]LeaseRecord, len(f.leases)),
+	}
+	for _, id := range f.order {
+		snap.Jobs = append(snap.Jobs, f.jobs[id])
+	}
+	for id, evs := range f.events {
+		snap.Events[id] = append([]EventRecord(nil), evs...)
+	}
+	for id, l := range f.leases {
+		snap.Leases[id] = l
+	}
+	return snap, nil
+}
+
+// Close compacts once (so restarts replay a snapshot, not a long journal)
+// and releases the journal handle. Closing twice is safe. Close is also the
+// crash seam: tests sever a store mid-flight by closing it, after which every
+// in-flight write fails with ErrClosed exactly as if the process had died.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	err := f.compactLocked()
+	f.closed = true
+	if cerr := f.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SetCompactBytes overrides the journal-size compaction threshold (tests).
+func (f *File) SetCompactBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.compactAt = n
+}

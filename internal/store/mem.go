@@ -1,0 +1,134 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Mem is the in-memory Store: plain maps under a mutex, no durability. It is
+// the default backend — a service on Mem behaves exactly like the classic
+// single-process server (a restart starts empty) — and the reference
+// implementation the file backend's tests compare against. A Mem store also
+// backs peer warm-cache exchange for replicas that opt out of disk: exported
+// artifacts live in the map and are served to peers until the process exits.
+type Mem struct {
+	mu        sync.Mutex
+	closed    bool
+	jobs      map[string]JobRecord
+	order     []string
+	events    map[string][]EventRecord
+	leases    map[string]LeaseRecord
+	artifacts map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		jobs:      make(map[string]JobRecord),
+		events:    make(map[string][]EventRecord),
+		leases:    make(map[string]LeaseRecord),
+		artifacts: make(map[string][]byte),
+	}
+}
+
+// Kind names the backend.
+func (m *Mem) Kind() string { return "mem" }
+
+// PutJob upserts a job record.
+func (m *Mem) PutJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.jobs[rec.ID]; !ok {
+		m.order = append(m.order, rec.ID)
+	}
+	m.jobs[rec.ID] = rec
+	return nil
+}
+
+// AppendEvent appends one event to a job's log.
+func (m *Mem) AppendEvent(jobID string, ev EventRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.events[jobID] = append(m.events[jobID], ev)
+	return nil
+}
+
+// PutLease upserts a job's lease trail.
+func (m *Mem) PutLease(rec LeaseRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.leases[rec.Job] = rec
+	return nil
+}
+
+// PutArtifact stores a warm-artifact blob.
+func (m *Mem) PutArtifact(key string, blob []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.artifacts[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// GetArtifact returns the blob for key, or ErrNotFound.
+func (m *Mem) GetArtifact(key string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blob, ok := m.artifacts[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Artifacts lists stored artifact keys, sorted for determinism.
+func (m *Mem) Artifacts() ([]ArtifactInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ArtifactInfo, 0, len(m.artifacts))
+	for k, b := range m.artifacts {
+		out = append(out, ArtifactInfo{Key: k, Size: len(b)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Load snapshots the current state.
+func (m *Mem) Load() (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := &Snapshot{
+		Events: make(map[string][]EventRecord, len(m.events)),
+		Leases: make(map[string]LeaseRecord, len(m.leases)),
+	}
+	for _, id := range m.order {
+		snap.Jobs = append(snap.Jobs, m.jobs[id])
+	}
+	for id, evs := range m.events {
+		snap.Events[id] = append([]EventRecord(nil), evs...)
+	}
+	for id, l := range m.leases {
+		snap.Leases[id] = l
+	}
+	return snap, nil
+}
+
+// Close marks the store closed; reads keep working (the maps are still
+// resident), writes fail with ErrClosed.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

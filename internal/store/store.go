@@ -1,0 +1,149 @@
+// Package store is the persistence layer behind the planning service's
+// durable mode: a narrow Store interface over everything the service must be
+// able to recover after a crash — accepted jobs and their state transitions,
+// each job's monotonically-sequenced plan-update event log, fleet lease
+// grants, and exported warm artifacts (winning strategies keyed by workload
+// fingerprint, the currency of the peer warm-cache exchange).
+//
+// Two backends implement it: Mem (process-lifetime maps, the default — the
+// classic single-process behavior) and File (an append-only JSONL journal
+// with fsynced, atomically-renamed snapshots — see file.go for the format and
+// crash-safety argument). The service writes through whichever backend its
+// Config names and replays Load's snapshot on startup, so a file-store server
+// restarted after a kill recovers every accepted job, resumes every event log
+// gap-free, and re-grants fleet leases through the allocator.
+//
+// Records are deliberately service-shaped but JSON-opaque where the service
+// owns the schema (Spec, Report, event payloads are json.RawMessage): the
+// store orders and persists, the service interprets.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNotFound reports a missing artifact (or other keyed record).
+var ErrNotFound = errors.New("store: not found")
+
+// ErrClosed reports a write against a closed (or severed) store — after a
+// simulated crash, or during shutdown.
+var ErrClosed = errors.New("store: closed")
+
+// JobRecord is the durable form of one accepted job. PutJob upserts whole
+// records (last write wins per ID); the journal keeps every version, the
+// snapshot only the latest.
+type JobRecord struct {
+	ID string `json:"id"`
+	// Spec is the submitted cli.Spec, re-marshaled verbatim so a recovered
+	// job can rebuild its graph and cluster exactly as admission did.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State is the service's JobState string at write time.
+	State string `json:"state"`
+	// Model and Batch mirror the resolved graph so recovered terminal jobs
+	// stay listable even if the spec no longer resolves.
+	Model string `json:"model,omitempty"`
+	Batch int    `json:"batch,omitempty"`
+	// Cluster and Devices describe the planned (or leased) cluster view.
+	Cluster string `json:"cluster,omitempty"`
+	Devices int    `json:"devices,omitempty"`
+
+	ReplanOf string `json:"replan_of,omitempty"`
+	Auto     bool   `json:"auto,omitempty"`
+	// Recovered marks a record rewritten by crash recovery (provenance only).
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// FailCode is the stable envelope code of the typed planning failure
+	// ("oom", "no_strategy", ...), so a recovered failed job still answers
+	// artifact requests with the right error code.
+	FailCode string `json:"fail_code,omitempty"`
+	// Report is the finished job's PlanReport (done jobs only), so reports
+	// survive a restart even though the in-memory runner does not.
+	Report json.RawMessage `json:"report,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// EventRecord is one persisted plan-update event. Seq mirrors the Seq inside
+// the payload; the store keys ordering off it so recovery can verify each
+// job's log is gap-free without parsing payloads.
+type EventRecord struct {
+	Seq     uint64          `json:"seq"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// LeaseRecord is the durable trail of one fleet lease grant or release.
+// Recovery does not replay leases directly — the allocator re-grants from
+// scratch and Lease.Seq resolves races — but the trail keeps restarted
+// servers' fleet history auditable and lets recovery resubmit waiting jobs
+// with their original device caps.
+type LeaseRecord struct {
+	Job     string `json:"job"`
+	Lease   string `json:"lease"`
+	Devices int    `json:"devices"`
+	Seq     uint64 `json:"seq"`
+	// Released marks the terminal write of a lease's lifecycle.
+	Released bool `json:"released,omitempty"`
+}
+
+// ArtifactInfo describes one stored warm artifact without its blob.
+type ArtifactInfo struct {
+	Key  string `json:"key"`
+	Size int    `json:"size"`
+}
+
+// Snapshot is everything Load recovers: the latest version of every job in
+// first-write (submission) order, each job's event log in Seq order, and the
+// latest lease record per job.
+type Snapshot struct {
+	Jobs   []JobRecord
+	Events map[string][]EventRecord
+	Leases map[string]LeaseRecord
+}
+
+// Store persists the planning service's recoverable state. Implementations
+// must be safe for concurrent use; every method may be called from request
+// handlers, workers and the telemetry monitor at once.
+type Store interface {
+	// Kind names the backend ("mem", "file") for stats and logs.
+	Kind() string
+	// PutJob upserts a job record (last write per ID wins).
+	PutJob(rec JobRecord) error
+	// AppendEvent appends one event to a job's log. Appends must arrive in
+	// Seq order per job; the file backend journals them in arrival order.
+	AppendEvent(jobID string, ev EventRecord) error
+	// PutLease upserts the lease trail for a job.
+	PutLease(rec LeaseRecord) error
+	// PutArtifact stores a warm-artifact blob under its workload key
+	// (overwriting any previous blob for the key).
+	PutArtifact(key string, blob []byte) error
+	// GetArtifact returns the blob for key, or ErrNotFound.
+	GetArtifact(key string) ([]byte, error)
+	// Artifacts lists the stored artifact keys.
+	Artifacts() ([]ArtifactInfo, error)
+	// Load returns the recoverable state written so far (by this process or
+	// a predecessor on the same backing state).
+	Load() (*Snapshot, error)
+	// Close flushes and releases the backend. Writes after Close fail with
+	// ErrClosed; Load and GetArtifact stay readable on the Mem backend but
+	// fail on File (the handles are gone — reopen instead).
+	Close() error
+}
+
+// ValidateEventLog checks that a recovered event log is gap-free and
+// 1-based: Seq values must be exactly 1..len(events) in order. Both backends
+// return logs in append order, so a violation means lost or reordered
+// persistence, which recovery treats as corruption.
+func ValidateEventLog(jobID string, events []EventRecord) error {
+	for i, ev := range events {
+		if ev.Seq != uint64(i)+1 {
+			return fmt.Errorf("store: job %s event log has seq %d at position %d (want %d): gap or reorder",
+				jobID, ev.Seq, i, i+1)
+		}
+	}
+	return nil
+}

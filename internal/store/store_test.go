@@ -1,0 +1,313 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openBackends returns one fresh instance of every backend, keyed by Kind.
+func openBackends(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	m := NewMem()
+	t.Cleanup(func() { _ = m.Close() })
+	return map[string]Store{m.Kind(): m, f.Kind(): f}
+}
+
+func raw(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStoreConformance exercises the Store contract identically against both
+// backends: upsert-latest-wins jobs, append-ordered events, lease trails,
+// artifact round-trips and ErrClosed after Close.
+func TestStoreConformance(t *testing.T) {
+	for kind, st := range openBackends(t) {
+		t.Run(kind, func(t *testing.T) {
+			now := time.Now().UTC().Truncate(time.Second)
+			if err := st.PutJob(JobRecord{ID: "job-1", State: "queued", Model: "vgg19", SubmittedAt: now}); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutJob(JobRecord{ID: "job-2", State: "queued", SubmittedAt: now}); err != nil {
+				t.Fatal(err)
+			}
+			// Upsert: the later write for job-1 must win, without changing
+			// submission order in the snapshot.
+			if err := st.PutJob(JobRecord{ID: "job-1", State: "done", Model: "vgg19", SubmittedAt: now}); err != nil {
+				t.Fatal(err)
+			}
+			for seq := uint64(1); seq <= 3; seq++ {
+				ev := EventRecord{Seq: seq, Payload: raw(t, map[string]any{"seq": seq})}
+				if err := st.AppendEvent("job-1", ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.PutLease(LeaseRecord{Job: "job-1", Lease: "lease-1", Devices: 4, Seq: 7}); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutLease(LeaseRecord{Job: "job-1", Lease: "lease-1", Devices: 4, Seq: 9, Released: true}); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutArtifact("aabbcc", []byte("warm-blob")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutArtifact("aabbcc", []byte("warm-blob-v2")); err != nil {
+				t.Fatal(err)
+			}
+
+			snap, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap.Jobs) != 2 || snap.Jobs[0].ID != "job-1" || snap.Jobs[1].ID != "job-2" {
+				t.Fatalf("jobs = %+v, want job-1,job-2 in submission order", snap.Jobs)
+			}
+			if snap.Jobs[0].State != "done" {
+				t.Fatalf("job-1 state = %q, want last-write done", snap.Jobs[0].State)
+			}
+			if err := ValidateEventLog("job-1", snap.Events["job-1"]); err != nil {
+				t.Fatal(err)
+			}
+			if len(snap.Events["job-1"]) != 3 {
+				t.Fatalf("events = %d, want 3", len(snap.Events["job-1"]))
+			}
+			if l := snap.Leases["job-1"]; !l.Released || l.Seq != 9 {
+				t.Fatalf("lease = %+v, want released seq 9", l)
+			}
+
+			blob, err := st.GetArtifact("aabbcc")
+			if err != nil || string(blob) != "warm-blob-v2" {
+				t.Fatalf("GetArtifact = %q, %v; want overwritten blob", blob, err)
+			}
+			if _, err := st.GetArtifact("missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("GetArtifact(missing) = %v, want ErrNotFound", err)
+			}
+			arts, err := st.Artifacts()
+			if err != nil || len(arts) != 1 || arts[0].Key != "aabbcc" || arts[0].Size != len("warm-blob-v2") {
+				t.Fatalf("Artifacts = %+v, %v", arts, err)
+			}
+
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutJob(JobRecord{ID: "job-3", State: "queued"}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("PutJob after Close = %v, want ErrClosed", err)
+			}
+			if err := st.AppendEvent("job-1", EventRecord{Seq: 4}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("AppendEvent after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestFileReopen writes through one File store, closes it, reopens the same
+// directory and expects the full state back — the core crash-safety claim.
+func TestFileReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if err := st.PutJob(JobRecord{ID: id, State: "queued", SubmittedAt: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AppendEvent(id, EventRecord{Seq: 1, Payload: raw(t, map[string]int{"i": i})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.PutArtifact("deadbeef", []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 3 {
+		t.Fatalf("reopened jobs = %d, want 3", len(snap.Jobs))
+	}
+	for _, j := range snap.Jobs {
+		if err := ValidateEventLog(j.ID, snap.Events[j.ID]); err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.Events[j.ID]) != 1 {
+			t.Fatalf("job %s events = %d, want 1", j.ID, len(snap.Events[j.ID]))
+		}
+	}
+	if blob, err := st2.GetArtifact("deadbeef"); err != nil || string(blob) != "blob" {
+		t.Fatalf("artifact after reopen = %q, %v", blob, err)
+	}
+}
+
+// TestFileTornTail simulates a crash mid-append: a truncated final journal
+// line must be dropped on replay, everything before it preserved, and the
+// reopened store must keep accepting writes.
+func TestFileTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(JobRecord{ID: "job-1", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(JobRecord{ID: "job-2", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append half a record with no trailing newline — a torn write.
+	j := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(j, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"job","job":{"id":"job-3","sta`); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after torn tail: %v", err)
+	}
+	defer st2.Close()
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 2 {
+		t.Fatalf("jobs after torn tail = %d, want 2 (torn job-3 dropped)", len(snap.Jobs))
+	}
+	if err := st2.PutJob(JobRecord{ID: "job-4", State: "queued"}); err != nil {
+		t.Fatalf("write after torn-tail recovery: %v", err)
+	}
+}
+
+// TestFileMidJournalCorruption: garbage before the final line is not a torn
+// write — it means lost state, and Open must refuse rather than silently
+// drop records.
+func TestFileMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(JobRecord{ID: "job-1", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(j, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt line followed by a valid one: corruption is NOT at the tail.
+	if _, err := f.WriteString("{garbage\n{\"kind\":\"job\",\"job\":{\"id\":\"job-2\",\"state\":\"queued\"}}\n"); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded on mid-journal corruption, want error")
+	}
+}
+
+// TestFileCompaction drives the journal past a tiny compaction threshold and
+// checks the state survives compaction and a reopen.
+func TestFileCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetCompactBytes(512)
+	for i := 0; i < 50; i++ {
+		// Same ID every time: compaction should collapse 50 journal entries
+		// into one snapshot record.
+		if err := st.PutJob(JobRecord{ID: "job-1", State: "queued", Model: strings.Repeat("x", 32)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.PutJob(JobRecord{ID: "job-1", State: "done"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot.json missing after compaction: %v", err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].State != "done" {
+		t.Fatalf("after compaction jobs = %+v, want single job-1 done", snap.Jobs)
+	}
+}
+
+// TestFileArtifactKeyValidation rejects keys that could escape artifacts/.
+func TestFileArtifactKeyValidation(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, key := range []string{"../escape", "a/b", "a\\b", ".hidden", ""} {
+		if err := st.PutArtifact(key, []byte("x")); err == nil {
+			t.Errorf("PutArtifact(%q) succeeded, want error", key)
+		}
+	}
+}
+
+// TestValidateEventLog covers the dense-sequence contract directly.
+func TestValidateEventLog(t *testing.T) {
+	ok := []EventRecord{{Seq: 1}, {Seq: 2}, {Seq: 3}}
+	if err := ValidateEventLog("j", ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEventLog("j", []EventRecord{{Seq: 1}, {Seq: 3}}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := ValidateEventLog("j", []EventRecord{{Seq: 2}}); err == nil {
+		t.Fatal("non-1-based log accepted")
+	}
+	if err := ValidateEventLog("j", nil); err != nil {
+		t.Fatalf("empty log rejected: %v", err)
+	}
+}
