@@ -64,8 +64,19 @@ type backend struct {
 	load      int
 	artifacts map[string]bool // workload key -> resident in memory
 	refreshed time.Time
-	assigned  int
+	// gen increments every time refreshed is force-zeroed (a just-assigned
+	// job invalidating the view); refreshLocked only re-stamps refreshed if
+	// gen is unchanged across its unlocked fetch window, so a concurrent
+	// invalidation is never clobbered.
+	gen      uint64
+	assigned int
 }
+
+// maxOwners bounds the learned job->backend map. Replicas evict terminal
+// jobs themselves (MaxJobs retention), so an entry older than the newest
+// maxOwners routings is almost certainly dead; dropping it costs at worst an
+// ID-prefix match or one broadcast probe on the next request for that job.
+const maxOwners = 4096
 
 // Router scores and proxies. Serve its Handler.
 type Router struct {
@@ -74,7 +85,10 @@ type Router struct {
 	mu       sync.Mutex
 	backends []*backend
 	owners   map[string]string // job ID -> backend base URL
-	routed   uint64
+	// ownerOrder remembers insertion order so owners stays bounded at
+	// maxOwners (FIFO eviction).
+	ownerOrder []string
+	routed     uint64
 }
 
 // New builds a router over the given replica set.
@@ -146,6 +160,10 @@ func (rt *Router) refreshLocked() {
 	if len(stale) == 0 {
 		return
 	}
+	gens := make([]uint64, len(stale))
+	for i, b := range stale {
+		gens[i] = b.gen
+	}
 	rt.mu.Unlock()
 	type view struct {
 		ready bool
@@ -187,7 +205,12 @@ func (rt *Router) refreshLocked() {
 		b.node = views[i].node
 		b.load = views[i].load
 		b.artifacts = views[i].arts
-		b.refreshed = time.Now()
+		// A submit during the unlocked window may have zeroed refreshed (and
+		// bumped gen) to force the next pick to refetch; this view predates
+		// that job, so leave the invalidation in place.
+		if b.gen == gens[i] {
+			b.refreshed = time.Now()
+		}
 	}
 }
 
@@ -280,11 +303,12 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var st service.JobStatus
 		if json.Unmarshal(respBody, &st) == nil && st.ID != "" {
 			rt.mu.Lock()
-			rt.owners[st.ID] = b.base
+			rt.rememberOwnerLocked(st.ID, b.base)
 			rt.routed++
 			// The backend just got a job; make the next pick see it without
 			// waiting out the TTL.
 			b.refreshed = time.Time{}
+			b.gen++
 			rt.mu.Unlock()
 		}
 	}
@@ -295,6 +319,19 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(resp.StatusCode)
 	_, _ = w.Write(respBody)
+}
+
+// rememberOwnerLocked records which backend owns a job, evicting the oldest
+// entry once the map holds maxOwners. Callers hold rt.mu.
+func (rt *Router) rememberOwnerLocked(id, base string) {
+	if _, ok := rt.owners[id]; !ok {
+		rt.ownerOrder = append(rt.ownerOrder, id)
+		for len(rt.ownerOrder) > maxOwners {
+			delete(rt.owners, rt.ownerOrder[0])
+			rt.ownerOrder = rt.ownerOrder[1:]
+		}
+	}
+	rt.owners[id] = base
 }
 
 // ownerOf resolves which backend holds a job: the learned owner map, then the
@@ -325,7 +362,7 @@ func (rt *Router) ownerOf(ctx context.Context, id string) *backend {
 		cl.HTTPClient = rt.client
 		if _, err := cl.Status(ctx, id); err == nil {
 			rt.mu.Lock()
-			rt.owners[id] = b.base
+			rt.rememberOwnerLocked(id, b.base)
 			rt.mu.Unlock()
 			return b
 		}

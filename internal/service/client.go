@@ -369,8 +369,10 @@ func (c *Client) Readyz(ctx context.Context) error {
 // long-poll API against servers (or proxies) that do not speak SSE. A fired
 // ctx is a clean stop: StreamEvents returns nil.
 func (c *Client) StreamEvents(ctx context.Context, id string, since uint64, fn func(PlanEvent) error) error {
+	var backoff time.Duration
 	for {
 		streamed, last, err := c.streamSSE(ctx, id, since, fn)
+		progressed := last > since
 		since = last
 		if err != nil || ctx.Err() != nil {
 			if ctx.Err() != nil && err == nil {
@@ -383,7 +385,26 @@ func (c *Client) StreamEvents(ctx context.Context, id string, since uint64, fn f
 		}
 		// The SSE connection dropped (proxy timeout, server restart): resume
 		// from the last delivered seq — the dense numbering makes the
-		// reconnect gap-free.
+		// reconnect gap-free. A connection that delivered nothing grows a
+		// backoff so a server or intermediary closing each stream on arrival
+		// is not hammered with reconnects.
+		if progressed {
+			backoff = 0
+			continue
+		}
+		if backoff == 0 {
+			backoff = 100 * time.Millisecond
+		} else {
+			backoff *= 2
+			if backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
 	}
 	for {
 		evs, err := c.Events(ctx, id, since, 30*time.Second)

@@ -209,11 +209,10 @@ func (s *Server) recover(snap *store.Snapshot) (requeue, resubmit []*job, err er
 		s.recovery.Requeued++
 	}
 	for id, evs := range snap.Events {
-		s.recovery.Events += len(evs)
 		if s.jobs[id] == nil {
-			// Events for a job evicted before the crash; nothing to attach.
-			continue
+			continue // events for a job evicted before the crash; not restored
 		}
+		s.recovery.Events += len(evs)
 	}
 	s.recovery.Sec = time.Since(start).Seconds()
 	return requeue, resubmit, nil

@@ -29,10 +29,13 @@ import (
 //     that (the torn tail is dropped, every complete line is replayed).
 //   - Compaction writes snapshot.json.tmp, fsyncs it, renames it over
 //     snapshot.json (atomic on POSIX), fsyncs the directory, and only then
-//     truncates the journal — a crash between any two steps leaves either
-//     the old snapshot + full journal or the new snapshot + (possibly still
-//     full) journal, both of which replay to the same state because journal
-//     records are idempotent upserts/appends over the snapshot.
+//     truncates (and fsyncs) the journal — a crash between any two steps
+//     leaves either the old snapshot + full journal or the new snapshot +
+//     (possibly still full) journal, both of which replay to the same state
+//     because every journal record is an idempotent upsert over the
+//     snapshot: jobs and leases are keyed last-write-wins, and an "ev"
+//     record is skipped when the job's dense 1-based log already covers its
+//     Seq (see applyLocked).
 //   - Artifacts are written to <key>.tmp, fsynced and renamed, so a reader
 //     (local or a peer fetch) never observes a half-written blob.
 //
@@ -198,6 +201,13 @@ func (f *File) applyLocked(rec journalRec) {
 		if rec.EvV == nil || rec.Job == "" {
 			return
 		}
+		// Event logs are dense and 1-based, so a record whose Seq the log
+		// already covers is a replay of one the snapshot absorbed — the
+		// crash-between-rename-and-truncate window leaves exactly that
+		// journal behind. Skipping it makes replay idempotent.
+		if rec.EvV.Seq <= uint64(len(f.events[rec.Job])) {
+			return
+		}
 		f.events[rec.Job] = append(f.events[rec.Job], *rec.EvV)
 	case "lease":
 		if rec.LeasV == nil {
@@ -259,11 +269,17 @@ func (f *File) compactLocked() error {
 		return err
 	}
 	// The snapshot now covers everything; an empty journal replays to it.
+	// Replay is idempotent even if the truncate never becomes durable, but
+	// fsyncing it keeps the common restart path on the fast empty-journal
+	// replay instead of re-skipping a full stale journal.
 	if err := f.journal.Truncate(0); err != nil {
 		return fmt.Errorf("store: truncate journal: %w", err)
 	}
 	if _, err := f.journal.Seek(0, 0); err != nil {
 		return fmt.Errorf("store: rewind journal: %w", err)
+	}
+	if err := f.journal.Sync(); err != nil {
+		return fmt.Errorf("store: fsync truncated journal: %w", err)
 	}
 	f.jsize = 0
 	return nil

@@ -281,6 +281,83 @@ func TestFileCompaction(t *testing.T) {
 	}
 }
 
+// TestFileCompactionCrashWindow simulates a kill between compaction's
+// snapshot rename and its journal truncation becoming durable: the directory
+// holds the new snapshot AND the full pre-compaction journal. Replaying that
+// journal over the snapshot must be a no-op — in particular "ev" records must
+// not re-append (3 events must stay 3, not become 6) — so the reopened store
+// passes event-log validation and recovery proceeds.
+func TestFileCompactionCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(JobRecord{ID: "job-1", State: "running", SubmittedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := st.AppendEvent("job-1", EventRecord{Seq: seq, Payload: raw(t, map[string]uint64{"seq": seq})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.PutLease(LeaseRecord{Job: "job-1", Lease: "lease-1", Devices: 2, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the journal as it stands, let Close compact (snapshot + journal
+	// truncation), then put the old journal back: the exact on-disk state a
+	// crash in the rename-to-truncate window leaves behind.
+	jpath := filepath.Join(dir, "journal.jsonl")
+	oldJournal, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldJournal) == 0 {
+		t.Fatal("journal unexpectedly empty before Close")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, oldJournal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after crash window: %v", err)
+	}
+	defer st2.Close()
+	snap, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ID != "job-1" {
+		t.Fatalf("jobs = %+v, want single job-1", snap.Jobs)
+	}
+	if got := len(snap.Events["job-1"]); got != 3 {
+		t.Fatalf("events after replaying stale journal = %d, want 3 (no duplication)", got)
+	}
+	if err := ValidateEventLog("job-1", snap.Events["job-1"]); err != nil {
+		t.Fatalf("event log invalid after crash-window replay: %v", err)
+	}
+	if l := snap.Leases["job-1"]; l.Seq != 5 || l.Devices != 2 {
+		t.Fatalf("lease = %+v, want seq 5 devices 2", l)
+	}
+
+	// The store must also keep appending correctly from the recovered state.
+	if err := st2.AppendEvent("job-1", EventRecord{Seq: 4, Payload: raw(t, map[string]uint64{"seq": 4})}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEventLog("job-1", snap.Events["job-1"]); err != nil || len(snap.Events["job-1"]) != 4 {
+		t.Fatalf("events after post-recovery append = %d (%v), want 4", len(snap.Events["job-1"]), err)
+	}
+}
+
 // TestFileArtifactKeyValidation rejects keys that could escape artifacts/.
 func TestFileArtifactKeyValidation(t *testing.T) {
 	st, err := Open(t.TempDir())
